@@ -1,0 +1,81 @@
+/// Ablation — dirfrag selector set (DESIGN.md §5.3, paper §3.2).
+///
+/// The original balancer is "limited to one heuristic (biggest first)";
+/// Mantle runs a list of selectors and keeps whichever lands closest to
+/// the target load. This harness measures the shipping error of
+/// big_first alone vs the full selector list over many randomized
+/// candidate sets, plus the paper's concrete §2.2.3 instance.
+
+#include <cinttypes>
+
+#include "harness.hpp"
+
+using namespace mantle;
+
+namespace {
+
+std::vector<cluster::ExportCandidate> random_candidates(Rng& rng, int n) {
+  std::vector<cluster::ExportCandidate> out;
+  for (int i = 0; i < n; ++i) {
+    cluster::ExportCandidate c;
+    c.frag = {static_cast<mds::InodeId>(i + 2), {}};
+    c.load = rng.uniform_real(5.0, 20.0);
+    c.entries = 10;
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.load > b.load; });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: dirfrag selector strategies\n");
+  const std::vector<std::string> full = {"big_first", "small_first",
+                                         "big_small", "half"};
+  const std::vector<std::string> big_only = {"big_first"};
+
+  Rng rng(99);
+  for (const int n : {4, 8, 16, 64}) {
+    OnlineStats err_big;
+    OnlineStats err_full;
+    OnlineStats err_big_scaled;  // with the 0.8 need_min fudge
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto cands = random_candidates(rng, n);
+      double total = 0.0;
+      for (const auto& c : cands) total += c.load;
+      const double target = total / 2.0;
+
+      const auto b = cluster::best_selection(big_only, cands, target);
+      err_big.add(std::fabs(cluster::selection_load(cands, b) - target) / target);
+      const auto bs = cluster::best_selection(big_only, cands, target * 0.8);
+      err_big_scaled.add(std::fabs(cluster::selection_load(cands, bs) - target) / target);
+      const auto f = cluster::best_selection(full, cands, target);
+      err_full.add(std::fabs(cluster::selection_load(cands, f) - target) / target);
+    }
+    std::printf(
+        "n=%-3d  mean relative shipping error: big_first %.3f | big_first"
+        " x0.8 target %.3f | full selector list %.3f\n",
+        n, err_big.mean(), err_big_scaled.mean(), err_full.mean());
+  }
+
+  std::printf("\n# the paper's exact instance (dirfrag loads of section 2.2.3):\n");
+  std::vector<double> loads{12.7, 13.3, 13.3, 14.6, 15.7, 13.5, 13.7, 14.6};
+  std::sort(loads.rbegin(), loads.rend());
+  std::vector<cluster::ExportCandidate> cands;
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    cands.push_back({{static_cast<mds::InodeId>(i + 2), {}}, loads[i], 1});
+  const double target = 55.6;
+  for (const auto& [name, sels] :
+       std::vector<std::pair<const char*, std::vector<std::string>>>{
+           {"big_first (x0.8 target, original)", big_only},
+           {"full list (mantle)", full}}) {
+    const bool scaled = sels.size() == 1;
+    const auto picks =
+        cluster::best_selection(sels, cands, scaled ? target * 0.8 : target);
+    std::printf("  %-36s ships %zu frags, load %.1f (target %.1f)\n", name,
+                picks.size(), cluster::selection_load(cands, picks), target);
+  }
+  return 0;
+}

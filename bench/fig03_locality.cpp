@@ -1,0 +1,135 @@
+/// Figure 3 — "Spreading metadata to multiple MDS nodes hurts performance
+/// when compared to keeping all metadata on one MDS."
+///
+/// Three setups for one client compiling the modelled source tree:
+///   high locality    — everything on one MDS (paper: untar+compile @1MDS)
+///   spread evenly    — hot *subtrees* placed whole on 3 MDS nodes at the
+///                      untar/compile boundary (hot metadata correctly
+///                      distributed; paper: untar@1 + compile@3)
+///   spread unevenly  — hot directories *fragmented* and the fragments
+///                      scattered across 3 MDS nodes (hot metadata
+///                      incorrectly distributed; paper: untar+compile@3)
+///
+/// Figure 3a = total requests the MDS cluster served (client ops +
+/// forwards) and job runtime; Figure 3b = path traversals ending in hits
+/// vs forwards. Expected shape: locality wins (the paper reports an
+/// 18-19% speedup for 1 MDS), and the uneven spread forwards the most.
+
+#include "harness.hpp"
+
+using namespace mantle;
+
+namespace {
+
+enum class Setup { kHighLocality, kSpreadEvenly, kSpreadUnevenly };
+
+const char* setup_name(Setup s) {
+  switch (s) {
+    case Setup::kHighLocality: return "high locality (1 MDS)";
+    case Setup::kSpreadEvenly: return "spread evenly (3 MDS)";
+    case Setup::kSpreadUnevenly: return "spread unevenly (3 MDS)";
+  }
+  return "?";
+}
+
+bench::RunResult run_setup(Setup setup, bool quick) {
+  sim::ScenarioConfig cfg;
+  cfg.cluster.num_mds = setup == Setup::kHighLocality ? 1 : 3;
+  sim::Scenario s(cfg);
+
+  workloads::CompileOptions opt;
+  opt.root = "/client0";
+  opt.files_per_dir = quick ? 20 : 60;
+  opt.compile_ops = quick ? 3000 : 25000;
+  opt.read_ops = quick ? 600 : 5000;
+  opt.link_rounds = quick ? 4 : 10;
+  auto wl = std::make_unique<workloads::CompileWorkload>(opt);
+  workloads::CompileWorkload* wl_raw = wl.get();
+  s.add_client(std::move(wl));
+
+  // Manual placement at the untar/compile boundary, mirroring how the
+  // paper engineers its three setups by changing when MDS nodes join.
+  bool placed = setup == Setup::kHighLocality;
+  s.add_probe(200 * kMsec, [&, wl_raw, setup](Time now) {
+    if (placed || wl_raw->phase() == workloads::CompileWorkload::Phase::Untar)
+      return;
+    placed = true;
+    auto& ns = s.cluster().ns();
+    const auto& spec = workloads::compile_tree_spec();
+    int rr = 0;
+    for (const auto& d : spec) {
+      const auto res = ns.resolve(std::string("/client0/") + d.name);
+      if (!res.found) continue;
+      if (setup == Setup::kSpreadEvenly) {
+        // Whole hot subtrees, one MDS each.
+        const int target = rr++ % 3;
+        if (target != 0)
+          s.cluster().export_subtree({res.ino, mds::frag_t()}, target);
+      } else {
+        // Fragment the directory and scatter the pieces: hot metadata
+        // incorrectly distributed.
+        const auto kids = ns.split({res.ino, mds::frag_t()}, 2, now);
+        for (const mds::frag_t k : kids) {
+          const int target = rr++ % 3;
+          if (target != s.cluster().auth_of({res.ino, k}))
+            s.cluster().export_subtree({res.ino, k}, target);
+        }
+      }
+    }
+  });
+
+  s.run();
+
+  bench::RunResult r;
+  r.makespan_s = to_seconds(s.makespan());
+  r.throughput = s.aggregate_throughput();
+  r.forwards = s.cluster().total_forwards();
+  r.hits = s.cluster().total_hits();
+  r.migrations = s.cluster().migrations().size();
+  r.sessions_flushed = s.cluster().total_sessions_flushed();
+  r.total_ops = s.cluster().total_completed();
+  const auto lat = s.pooled_latencies_ms();
+  r.mean_latency_ms = lat.mean();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+
+  std::printf("# Figure 3a: requests served & runtime per setup\n");
+  std::printf("%-26s %10s %12s %12s %10s\n", "setup", "runtime(s)",
+              "client ops", "MDS reqs", "lat(ms)");
+  bench::RunResult results[3];
+  const Setup setups[] = {Setup::kHighLocality, Setup::kSpreadEvenly,
+                          Setup::kSpreadUnevenly};
+  for (int i = 0; i < 3; ++i) {
+    results[i] = run_setup(setups[i], quick);
+    const auto& r = results[i];
+    std::printf("%-26s %10.1f %12llu %12llu %10.3f\n", setup_name(setups[i]),
+                r.makespan_s, static_cast<unsigned long long>(r.total_ops),
+                static_cast<unsigned long long>(r.hits + r.forwards),
+                r.mean_latency_ms);
+  }
+
+  std::printf("\n# Figure 3b: path traversals ending in hits vs forwards\n");
+  std::printf("%-26s %12s %12s %9s\n", "setup", "hits", "forwards", "fwd%");
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = results[i];
+    const double pct = r.hits + r.forwards == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(r.forwards) /
+                                 static_cast<double>(r.hits + r.forwards);
+    std::printf("%-26s %12llu %12llu %8.2f%%\n", setup_name(setups[i]),
+                static_cast<unsigned long long>(r.hits),
+                static_cast<unsigned long long>(r.forwards), pct);
+  }
+
+  const double speedup = (results[1].makespan_s / results[0].makespan_s - 1.0) * 100.0;
+  const double speedup2 = (results[2].makespan_s / results[0].makespan_s - 1.0) * 100.0;
+  std::printf("\n# high-locality speedup vs spread evenly: %.1f%%  (paper: 18-19%%)\n",
+              speedup);
+  std::printf("# high-locality speedup vs spread unevenly: %.1f%%\n", speedup2);
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// Figure 10 — "With 5 clients compiling code in separate directories,
+/// distributing metadata load early helps the cluster handle a flash
+/// crowd at the end of the job."
+///
+/// 5 clients compile on a 5-MDS cluster under three aggressiveness
+/// variants of the Adaptable balancer, plus a 1-MDS baseline:
+///   conservative   — minimum-offload gate; stays on one MDS until the
+///                    load spike forces distribution
+///   aggressive     — Listing 4 as written; distributes immediately
+///   too aggressive — rebalances on any imbalance; constant churn
+/// The link phase ends the job with a readdir flash crowd; the paper's
+/// too-aggressive variant produced ~60x as many forwards as the
+/// aggressive one and much higher runtime variance.
+
+#include "harness.hpp"
+
+using namespace mantle;
+
+namespace {
+
+void add_compile_clients(sim::Scenario& s, bool quick) {
+  for (int c = 0; c < 5; ++c) {
+    workloads::CompileOptions o;
+    o.root = "/client" + std::to_string(c);
+    o.files_per_dir = quick ? 15 : 40;
+    o.compile_ops = quick ? 2500 : 12000;
+    o.read_ops = quick ? 500 : 2500;
+    o.link_rounds = quick ? 5 : 10;
+    s.add_client(std::make_unique<workloads::CompileWorkload>(o));
+  }
+}
+
+struct VariantResult {
+  double runtime = 0.0;
+  std::uint64_t forwards = 0;
+};
+
+VariantResult run_variant(const char* label,
+                          const bench::BalancerFactory& factory, int num_mds,
+                          bool quick, std::uint64_t seed) {
+  sim::ScenarioConfig cfg;
+  cfg.cluster.num_mds = num_mds;
+  cfg.cluster.seed = seed;
+  cfg.cluster.bal_interval = quick ? kSec : 4 * kSec;
+  sim::Scenario s(cfg);
+  if (factory) s.cluster().set_balancer_all(factory);
+  add_compile_clients(s, quick);
+  s.run();
+  if (seed == 31) {  // print the timeline once per variant
+    std::printf("\n");
+    bench::print_throughput_series(s, quick ? 2 * kSec : 5 * kSec, label);
+    std::printf("runtime %.1f s; %zu migrations; %llu forwards\n",
+                to_seconds(s.makespan()), s.cluster().migrations().size(),
+                static_cast<unsigned long long>(s.cluster().total_forwards()));
+  }
+  return {to_seconds(s.makespan()), s.cluster().total_forwards()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const std::vector<std::uint64_t> seeds =
+      quick ? std::vector<std::uint64_t>{31, 32} : std::vector<std::uint64_t>{31, 32, 33};
+
+  std::printf("# Figure 10: Adaptable balancer aggressiveness, 5 clients compiling\n");
+
+  struct Variant {
+    const char* label;
+    int num_mds;
+    bench::BalancerFactory factory;
+  };
+  const double min_offload = quick ? 800.0 : 2000.0;
+  const std::vector<Variant> variants = {
+      {"1 MDS baseline", 1, nullptr},
+      {"conservative (min offload)", 5,
+       [min_offload](int) {
+         balancers::AdaptableBalancer::Options o;
+         o.mode = balancers::AdaptableBalancer::Mode::kConservative;
+         o.min_offload = min_offload;
+         return std::make_unique<balancers::AdaptableBalancer>(o);
+       }},
+      {"aggressive (Listing 4)", 5,
+       [](int) {
+         return std::make_unique<core::MantleBalancer>(core::scripts::adaptable());
+       }},
+      {"too aggressive", 5,
+       [](int) {
+         balancers::AdaptableBalancer::Options o;
+         o.mode = balancers::AdaptableBalancer::Mode::kTooAggressive;
+         return std::make_unique<balancers::AdaptableBalancer>(o);
+       }},
+  };
+
+  std::printf("\n%-30s %12s %9s %14s\n", "variant", "runtime(s)", "rt sd",
+              "forwards(mean)");
+  double aggressive_forwards = 1.0;
+  for (const Variant& v : variants) {
+    OnlineStats rt;
+    OnlineStats fwd;
+    for (const std::uint64_t seed : seeds) {
+      const VariantResult r = run_variant(v.label, v.factory, v.num_mds, quick, seed);
+      rt.add(r.runtime);
+      fwd.add(static_cast<double>(r.forwards));
+    }
+    if (std::string(v.label) == "aggressive (Listing 4)")
+      aggressive_forwards = std::max(fwd.mean(), 1.0);
+    std::printf("%-30s %12.1f %9.2f %14.0f\n", v.label, rt.mean(), rt.stddev(),
+                fwd.mean());
+  }
+  std::printf(
+      "\n# forwards ratio too-aggressive / aggressive should be large (paper: ~60x)\n");
+  std::printf(
+      "# paper shape: conservative keeps metadata on one MDS until the spike;\n"
+      "# aggressive absorbs the final readdir flash crowd; too-aggressive\n"
+      "# thrashes subtrees (worse runtime, high stddev). (aggressive fwd mean: %.0f)\n",
+      aggressive_forwards);
+  return 0;
+}

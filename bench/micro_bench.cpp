@@ -1,0 +1,144 @@
+/// Microbenchmarks (google-benchmark): the cost of the moving parts —
+/// luam policy evaluation (the paper argues LuaJIT is fast enough for a
+/// 10 s balancing tick; we verify the same holds for luam), decay
+/// counters, dirfrag math, namespace ops and the event engine.
+
+#include <benchmark/benchmark.h>
+
+#include "balancers/builtin.hpp"
+#include "common/decay_counter.hpp"
+#include "core/mantle.hpp"
+#include "mds/namespace.hpp"
+#include "sim/engine.hpp"
+
+using namespace mantle;
+
+namespace {
+
+cluster::ClusterView sample_view(int n) {
+  cluster::ClusterView v;
+  v.whoami = 0;
+  v.mdss.resize(static_cast<std::size_t>(n));
+  v.loads.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& hb = v.mdss[static_cast<std::size_t>(i)];
+    hb.rank = i;
+    hb.auth_metaload = i == 0 ? 1000 : 10;
+    hb.all_metaload = i == 0 ? 1200 : 10;
+    hb.cpu_pct = 50;
+    hb.queue_len = 3;
+    hb.req_rate = 500;
+    v.loads[static_cast<std::size_t>(i)] = hb.all_metaload;
+    v.total_load += hb.all_metaload;
+  }
+  return v;
+}
+
+void BM_DecayCounterHit(benchmark::State& state) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  Time t = 0;
+  for (auto _ : state) {
+    c.hit(t, rate);
+    t += 100;
+  }
+  benchmark::DoNotOptimize(c.raw());
+}
+BENCHMARK(BM_DecayCounterHit);
+
+void BM_FragPick(benchmark::State& state) {
+  mds::Namespace ns;
+  const auto dir = ns.mkdir(ns.root(), "d", 0);
+  for (int i = 0; i < 1000; ++i) ns.create(dir, "f" + std::to_string(i), 0);
+  ns.split({dir, mds::frag_t()}, 3, 0);
+  const mds::Dir* d = ns.dir(dir);
+  std::uint32_t h = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&d->pick_frag(h));
+    h += 0x9e3779b9u;
+  }
+}
+BENCHMARK(BM_FragPick);
+
+void BM_NamespaceCreate(benchmark::State& state) {
+  mds::Namespace ns;
+  const auto dir = ns.mkdir(ns.root(), "d", 0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ns.create(dir, "file" + std::to_string(i++), 0));
+  }
+}
+BENCHMARK(BM_NamespaceCreate);
+
+void BM_NamespaceResolveDeep(benchmark::State& state) {
+  mds::Namespace ns;
+  mds::InodeId cur = ns.root();
+  std::string path;
+  for (int i = 0; i < 8; ++i) {
+    cur = ns.mkdir(cur, "level" + std::to_string(i), 0);
+    path += "/level" + std::to_string(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ns.resolve(path));
+  }
+}
+BENCHMARK(BM_NamespaceResolveDeep);
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  sim::Engine e;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) e.schedule_after(static_cast<Time>(i), [] {});
+    e.run();
+  }
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_NativeBalancerTickDecision(benchmark::State& state) {
+  balancers::OriginalBalancer b;
+  const auto view = sample_view(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    if (b.when(view)) benchmark::DoNotOptimize(b.where(view));
+  }
+}
+BENCHMARK(BM_NativeBalancerTickDecision)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_MantleBalancerTickDecision(benchmark::State& state) {
+  core::MantleBalancer b(core::scripts::original());
+  const auto view = sample_view(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    if (b.when(view)) benchmark::DoNotOptimize(b.where(view));
+  }
+}
+BENCHMARK(BM_MantleBalancerTickDecision)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_MantleMetaload(benchmark::State& state) {
+  core::MantleBalancer b(core::scripts::original());
+  cluster::PopSnapshot pop{10, 20, 5, 2, 1};
+  for (auto _ : state) benchmark::DoNotOptimize(b.metaload(pop));
+}
+BENCHMARK(BM_MantleMetaload);
+
+void BM_LuaFib(benchmark::State& state) {
+  lua::Interp in;
+  in.run("function fib(n) if n<2 then return n end return fib(n-1)+fib(n-2) end");
+  const lua::Value fib = in.get_global("fib");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.call(fib, {lua::Value(15.0)}));
+  }
+}
+BENCHMARK(BM_LuaFib);
+
+void BM_SelectorBestSelection(benchmark::State& state) {
+  std::vector<cluster::ExportCandidate> cands;
+  for (int i = 0; i < 64; ++i)
+    cands.push_back({{static_cast<mds::InodeId>(i + 2), {}},
+                     100.0 / (i + 1), 10});
+  const std::vector<std::string> names{"big_first", "small_first", "big_small", "half"};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cluster::best_selection(names, cands, 150.0));
+}
+BENCHMARK(BM_SelectorBestSelection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/// Domain scenario: a build farm. Five users compile source trees on a
+/// 3-MDS cluster balanced by the Adaptable policy (Listing 4). Shows the
+/// per-phase hotspot structure, the balancer reacting to it, and the
+/// per-directory heat you would feed into a Figure-1-style dashboard.
+///
+/// Build & run:   ./build/examples/compile_cluster
+
+#include <cstdio>
+#include <memory>
+
+#include "core/mantle.hpp"
+#include "sim/scenario.hpp"
+#include "workloads/compile.hpp"
+
+using namespace mantle;
+
+int main() {
+  sim::ScenarioConfig cfg;
+  cfg.cluster.num_mds = 3;
+  cfg.cluster.seed = 2026;
+  cfg.cluster.bal_interval = kSec;
+  sim::Scenario scenario(cfg);
+
+  scenario.cluster().set_balancer_all([](int) {
+    return std::make_unique<core::MantleBalancer>(core::scripts::adaptable());
+  });
+
+  for (int c = 0; c < 5; ++c) {
+    workloads::CompileOptions opt;
+    opt.root = "/user" + std::to_string(c);
+    opt.files_per_dir = 25;
+    opt.compile_ops = 5000;
+    opt.read_ops = 1000;
+    opt.link_rounds = 6;
+    scenario.add_client(std::make_unique<workloads::CompileWorkload>(opt));
+  }
+
+  // Sample per-MDS ownership and the hottest directories once a second.
+  scenario.add_probe(kSec, [&](Time now) {
+    auto& cluster = scenario.cluster();
+    const auto entries = cluster.auth_entry_counts();
+    std::printf("t=%4.0fs  dentries per MDS:", to_seconds(now));
+    for (const std::size_t e : entries) std::printf(" %6zu", e);
+    // Hottest top-level user tree right now.
+    double best = 0.0;
+    std::string who = "-";
+    for (int c = 0; c < 5; ++c) {
+      const auto res = cluster.ns().resolve("/user" + std::to_string(c));
+      if (!res.found) continue;
+      const double h = cluster.ns().nested_pop(res.ino, mds::MetaOp::IRD, now) +
+                       cluster.ns().nested_pop(res.ino, mds::MetaOp::IWR, now);
+      if (h > best) {
+        best = h;
+        who = "/user" + std::to_string(c);
+      }
+    }
+    std::printf("   hottest=%s (%.0f)\n", who.c_str(), best);
+  });
+
+  scenario.run();
+
+  std::printf("\ncompile farm finished in %.1f s\n",
+              to_seconds(scenario.makespan()));
+  for (const auto& client : scenario.clients())
+    std::printf("  user%d: %.1f s, %llu ops, %llu forwards seen\n",
+                client->id(), to_seconds(client->runtime()),
+                static_cast<unsigned long long>(client->ops_completed()),
+                static_cast<unsigned long long>(client->forwards_seen()));
+  std::printf("migrations: %zu, sessions flushed: %llu\n",
+              scenario.cluster().migrations().size(),
+              static_cast<unsigned long long>(
+                  scenario.cluster().total_sessions_flushed()));
+  return 0;
+}

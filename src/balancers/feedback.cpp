@@ -1,0 +1,58 @@
+#include "balancers/feedback.hpp"
+
+#include <algorithm>
+
+namespace mantle::balancers {
+
+bool FeedbackBalancer::when(const cluster::ClusterView& view) {
+  last_output_ = 0.0;
+  if (view.total_load <= 0.0 || view.size() < 2) return false;
+
+  const double share =
+      view.loads[static_cast<std::size_t>(view.whoami)] / view.total_load;
+  if (smoothed_share_ < 0.0)
+    smoothed_share_ = share;
+  else
+    smoothed_share_ =
+        opt_.ewma_alpha * share + (1.0 - opt_.ewma_alpha) * smoothed_share_;
+
+  const double target = 1.0 / static_cast<double>(view.size());
+  const double error = smoothed_share_ - target;
+
+  if (std::abs(error) <= opt_.deadband) {
+    // Near balance: bleed the integral so it cannot wind up and cause a
+    // correction burst later.
+    integral_ *= 0.5;
+    return false;
+  }
+
+  integral_ = std::clamp(integral_ + error, -opt_.integral_cap,
+                         opt_.integral_cap);
+  const double u = opt_.kp * error + opt_.ki * integral_;
+  if (u <= 0.0) return false;  // underloaded: importing is the peers' job
+
+  last_output_ = std::min(u, 0.9) * view.total_load;
+  return last_output_ > 0.0;
+}
+
+std::vector<double> FeedbackBalancer::where(const cluster::ClusterView& view) {
+  std::vector<double> targets(view.size(), 0.0);
+  if (last_output_ <= 0.0) return targets;
+  // Distribute the controller output across peers in proportion to their
+  // deficit below the even share.
+  const double even = view.total_load / static_cast<double>(view.size());
+  double total_deficit = 0.0;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (static_cast<int>(i) == view.whoami) continue;
+    total_deficit += std::max(0.0, even - view.loads[i]);
+  }
+  if (total_deficit <= 0.0) return targets;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (static_cast<int>(i) == view.whoami) continue;
+    const double deficit = std::max(0.0, even - view.loads[i]);
+    targets[i] = last_output_ * deficit / total_deficit;
+  }
+  return targets;
+}
+
+}  // namespace mantle::balancers

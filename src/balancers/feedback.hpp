@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/balancer.hpp"
+
+/// \file feedback.hpp
+/// Extension balancer from the paper's future-work list (§4.4: "Mantle's
+/// ability to save state should accommodate balancers that use ...
+/// control feedback loops"). A PI controller drives this MDS's share of
+/// the cluster load toward 1/N:
+///
+///   error    = my_share - 1/N          (EWMA-smoothed to tame the noisy
+///                                       instantaneous metrics of §2.2.2)
+///   integral = clamp(integral + error)
+///   export   = (Kp * error + Ki * integral) * total_load   when positive
+///
+/// Compared to Greedy Spill (bang-bang: all-or-half) and the original
+/// balancer (proportional only, no memory), the integral term lets the
+/// controller correct persistent small imbalances without overreacting
+/// to one noisy sample, and the deadband keeps it quiet near balance —
+/// directly addressing "searching for balance too aggressively increases
+/// the standard deviation in runtime".
+
+namespace mantle::balancers {
+
+class FeedbackBalancer final : public cluster::Balancer {
+ public:
+  struct Options {
+    double kp = 0.5;           // proportional gain
+    double ki = 0.05;          // integral gain
+    double deadband = 0.12;    // |share error| below this: do nothing
+    double ewma_alpha = 0.8;   // smoothing of the observed share
+    double integral_cap = 0.5;
+  };
+
+  FeedbackBalancer() = default;
+  explicit FeedbackBalancer(Options opt) : opt_(opt) {}
+
+  std::string name() const override { return "feedback-pi"; }
+
+  double metaload(const cluster::PopSnapshot& pop) const override {
+    return pop.iwr + pop.ird + pop.readdir;
+  }
+  double mdsload(const cluster::HeartbeatPayload& hb) const override {
+    return hb.all_metaload;
+  }
+
+  bool when(const cluster::ClusterView& view) override;
+  std::vector<double> where(const cluster::ClusterView& view) override;
+  std::vector<std::string> howmuch() const override {
+    return {"big_first", "small_first", "big_small"};
+  }
+
+  // Controller introspection (tests / telemetry).
+  double smoothed_share() const { return smoothed_share_; }
+  double integral() const { return integral_; }
+  double last_output() const { return last_output_; }
+
+ private:
+  Options opt_{};
+  double smoothed_share_ = -1.0;  // <0: not yet initialized
+  double integral_ = 0.0;
+  double last_output_ = 0.0;
+};
+
+}  // namespace mantle::balancers

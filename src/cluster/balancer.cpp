@@ -1,0 +1,107 @@
+#include "cluster/balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mantle::cluster {
+
+namespace {
+
+/// big_first: ship the biggest dirfrags until the target is reached —
+/// the original CephFS heuristic (Table 1, "how-much accuracy" row).
+std::vector<std::size_t> select_big_first(
+    const std::vector<ExportCandidate>& c, double target) {
+  std::vector<std::size_t> picks;
+  double sent = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (sent >= target) break;
+    picks.push_back(i);
+    sent += c[i].load;
+  }
+  return picks;
+}
+
+std::vector<std::size_t> select_small_first(
+    const std::vector<ExportCandidate>& c, double target) {
+  std::vector<std::size_t> picks;
+  double sent = 0.0;
+  for (std::size_t i = c.size(); i-- > 0;) {
+    if (sent >= target) break;
+    picks.push_back(i);
+    sent += c[i].load;
+  }
+  std::reverse(picks.begin(), picks.end());
+  return picks;
+}
+
+/// big_small: alternate biggest / smallest until the target is reached.
+std::vector<std::size_t> select_big_small(
+    const std::vector<ExportCandidate>& c, double target) {
+  std::vector<std::size_t> picks;
+  double sent = 0.0;
+  std::size_t lo = 0;
+  std::size_t hi = c.size();
+  bool big = true;
+  while (lo < hi && sent < target) {
+    if (big) {
+      picks.push_back(lo);
+      sent += c[lo].load;
+      ++lo;
+    } else {
+      --hi;
+      picks.push_back(hi);
+      sent += c[hi].load;
+    }
+    big = !big;
+  }
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+/// half: ship the first half of the candidates regardless of target —
+/// Greedy Spill's "send exactly half the dirfrags" strategy.
+std::vector<std::size_t> select_half(const std::vector<ExportCandidate>& c,
+                                     double /*target*/) {
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < (c.size() + 1) / 2; ++i) picks.push_back(i);
+  return picks;
+}
+
+}  // namespace
+
+std::vector<std::size_t> run_selector(
+    const std::string& name, const std::vector<ExportCandidate>& candidates,
+    double target) {
+  if (candidates.empty() || target <= 0.0) return {};
+  if (name == "big_first" || name == "big") return select_big_first(candidates, target);
+  if (name == "small_first" || name == "small") return select_small_first(candidates, target);
+  if (name == "big_small") return select_big_small(candidates, target);
+  if (name == "half") return select_half(candidates, target);
+  return {};  // unknown selector selects nothing
+}
+
+double selection_load(const std::vector<ExportCandidate>& candidates,
+                      const std::vector<std::size_t>& picks) {
+  double s = 0.0;
+  for (const std::size_t i : picks) s += candidates[i].load;
+  return s;
+}
+
+std::vector<std::size_t> best_selection(
+    const std::vector<std::string>& names,
+    const std::vector<ExportCandidate>& candidates, double target) {
+  std::vector<std::size_t> best;
+  double best_dist = HUGE_VAL;
+  for (const std::string& name : names) {
+    std::vector<std::size_t> picks = run_selector(name, candidates, target);
+    if (picks.empty()) continue;
+    const double dist = std::fabs(selection_load(candidates, picks) - target);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = std::move(picks);
+    }
+  }
+  return best;
+}
+
+}  // namespace mantle::cluster

@@ -1,0 +1,871 @@
+#include "cluster/cluster.hpp"
+#include <bit>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace mantle::cluster {
+
+using mantle::mds::DirFrag;
+using mantle::mds::frag_t;
+using mantle::mds::hash_dentry_name;
+using mantle::mds::kNoInode;
+using mantle::mds::kNoRank;
+
+const char* op_name(OpType op) {
+  switch (op) {
+    case OpType::Create: return "create";
+    case OpType::Mkdir: return "mkdir";
+    case OpType::Getattr: return "getattr";
+    case OpType::Lookup: return "lookup";
+    case OpType::Readdir: return "readdir";
+    case OpType::Unlink: return "unlink";
+    case OpType::Rename: return "rename";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The hard-coded CephFS metaload used whenever no policy is installed.
+double default_metaload(const PopSnapshot& p) {
+  return p.ird + 2.0 * p.iwr + p.readdir + 2.0 * p.fetch + 4.0 * p.store;
+}
+
+MetaOp op_to_meta(OpType op) {
+  switch (op) {
+    case OpType::Create:
+    case OpType::Mkdir:
+    case OpType::Unlink:
+    case OpType::Rename:
+      return MetaOp::IWR;
+    case OpType::Getattr:
+    case OpType::Lookup:
+      return MetaOp::IRD;
+    case OpType::Readdir:
+      return MetaOp::READDIR;
+  }
+  return MetaOp::IRD;
+}
+
+}  // namespace
+
+// ===========================================================================
+// MdsNode
+// ===========================================================================
+
+MdsNode::MdsNode(MdsCluster& cluster, MdsRank rank, Rng rng)
+    : cluster_(cluster), rank_(rank), rng_(rng) {
+  hb_.resize(static_cast<std::size_t>(cluster_.config().num_mds));
+  for (std::size_t i = 0; i < hb_.size(); ++i)
+    hb_[i].rank = static_cast<MdsRank>(i);
+}
+
+void MdsNode::on_arrival(Request r) {
+  queue_.push_back(std::move(r));
+  maybe_start();
+}
+
+void MdsNode::on_heartbeat(const HeartbeatPayload& hb) {
+  if (hb.rank >= 0 && static_cast<std::size_t>(hb.rank) < hb_.size())
+    hb_[static_cast<std::size_t>(hb.rank)] = hb;
+}
+
+void MdsNode::maybe_start() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  process_front();
+}
+
+Time MdsNode::service_time(OpType op) {
+  const ClusterConfig& cfg = cluster_.config();
+  Time base = cfg.svc_getattr;
+  switch (op) {
+    case OpType::Create: base = cfg.svc_create; break;
+    case OpType::Mkdir: base = cfg.svc_mkdir; break;
+    case OpType::Getattr: base = cfg.svc_getattr; break;
+    case OpType::Lookup: base = cfg.svc_lookup; break;
+    case OpType::Readdir: base = cfg.svc_readdir; break;
+    case OpType::Unlink: base = cfg.svc_unlink; break;
+    case OpType::Rename: base = cfg.svc_mkdir; break;  // link+unlink work
+  }
+  if (cfg.svc_jitter > 0.0) {
+    const double f = 1.0 + cfg.svc_jitter * (2.0 * rng_.next_double() - 1.0);
+    base = static_cast<Time>(static_cast<double>(base) * f);
+  }
+  return std::max<Time>(base, 1);
+}
+
+void MdsNode::process_front() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Request r = std::move(queue_.front());
+  queue_.pop_front();
+
+  sim::Engine& eng = cluster_.engine();
+  auto& ns = cluster_.ns();
+
+  const mantle::mds::Dir* d = ns.dir(r.dir);
+  if (d == nullptr) {
+    // Unknown directory: answer with an error after a lookup-ish cost.
+    const Time svc = service_time(OpType::Lookup);
+    busy_in_window_ += svc;
+    eng.schedule_after(svc, [this, r]() {
+      Reply rep;
+      rep.req_id = r.id;
+      rep.client = r.client;
+      rep.ok = false;
+      rep.served_by = rank_;
+      rep.dir = r.dir;
+      rep.hops = r.hops;
+      rep.issued_at = r.issued_at;
+      rep.finished_at = cluster_.engine().now();
+      cluster_.deliver_reply(rep);
+      process_front();
+    });
+    return;
+  }
+
+  const DirFragId target =
+      r.name.empty() ? DirFragId{r.dir, d->frags.begin()->first}
+                     : ns.frag_of(r.dir, r.name);
+
+  if (cluster_.is_frozen(target)) {
+    // The covering subtree is mid-migration: park the request with the
+    // migration; it is re-injected at the importer on completion.
+    cluster_.defer_to_migration(target, std::move(r));
+    eng.schedule_after(0, [this]() { process_front(); });
+    return;
+  }
+
+  const MdsRank auth = cluster_.auth_of(target);
+  if (auth != rank_ && auth != kNoRank) {
+    // Misdirected: bounce to the authority (the "forward" of Figure 3b).
+    ++stats_.forwards_out;
+    ++r.hops;
+    forward_pop_.hit(eng.now(), cluster_.ns().decay_rate());
+    const Time fwd = cluster_.config().svc_forward;
+    busy_in_window_ += fwd;
+    eng.schedule_after(fwd, [this, r = std::move(r), auth]() mutable {
+      cluster_.route_to(auth, std::move(r));
+      process_front();
+    });
+    return;
+  }
+
+  ++stats_.hits;
+  Time svc = service_time(r.op);
+  // Coherency taxes of lost locality (§2.1):
+  // 1. Replicated-prefix traversal: the target's parent directory is
+  //    owned elsewhere, so the path is resolved against replicas that
+  //    must be kept coherent with their authority.
+  if (target.ino != ns.root()) {
+    const mantle::mds::Inode* node = ns.inode(target.ino);
+    if (node != nullptr && node->parent != mantle::mds::kNoInode) {
+      const DirFragId parent_frag = ns.frag_of(node->parent, node->name);
+      if (cluster_.auth_of(parent_frag) != rank_) {
+        svc += cluster_.config().svc_remote_prefix;
+        ++stats_.remote_prefix_ops;
+      }
+    }
+  }
+  // 1b. Cross-MDS ("slave") rename: the destination fragment lives on a
+  //     different MDS, which must participate in a two-phase update.
+  if (r.op == OpType::Rename && r.dst_dir != kNoInode) {
+    const mantle::mds::Dir* dd = ns.dir(r.dst_dir);
+    if (dd != nullptr) {
+      const DirFragId dst = ns.frag_of(r.dst_dir, r.dst_name);
+      if (cluster_.auth_of(dst) != rank_)
+        svc += 2 * cluster_.config().net_latency +
+               cluster_.config().svc_remote_prefix;
+    }
+  }
+  // 2. Scatter-gather on mutations: a directory whose fragments span k
+  //    MDS nodes needs its fragstats/rstats kept coherent across all of
+  //    them; every sharer exchanges scatter-gather rounds with every
+  //    other and the lock hand-offs compound, so the per-op tax is
+  //    quadratic in the number of extra sharers. The coefficient is
+  //    calibrated (see DESIGN.md §5) so the single-shared-directory
+  //    experiments reproduce the paper's crossover: spilling to 2 MDS
+  //    wins, spreading over 4 loses.
+  if (r.op == OpType::Create || r.op == OpType::Mkdir ||
+      r.op == OpType::Unlink || r.op == OpType::Rename) {
+    int sharer_mask = 0;
+    for (const auto& [fg, df] : d->frags)
+      if (df.auth >= 0 && df.auth < 31) sharer_mask |= 1 << df.auth;
+    const int sharers = std::popcount(static_cast<unsigned>(sharer_mask));
+    if (sharers > 1)
+      svc += cluster_.config().svc_scatter_gather *
+             static_cast<Time>((sharers - 1) * (sharers - 1));
+  }
+  busy_in_window_ += svc;
+  eng.schedule_after(svc, [this, r = std::move(r), svc]() mutable {
+    complete(std::move(r), svc);
+    process_front();
+  });
+}
+
+void MdsNode::complete(Request r, Time /*svc*/) {
+  auto& ns = cluster_.ns();
+  const Time now = cluster_.engine().now();
+
+  Reply rep;
+  rep.req_id = r.id;
+  rep.client = r.client;
+  rep.served_by = rank_;
+  rep.dir = r.dir;
+  rep.hops = r.hops;
+  rep.issued_at = r.issued_at;
+  rep.finished_at = now;
+
+  const mantle::mds::Dir* d = ns.dir(r.dir);
+  if (d != nullptr) {
+    // Tell the client which fragment this landed in, so it can keep a
+    // frag-granular map of the namespace (CephFS clients learn the
+    // dirfragtree from replies).
+    rep.frag = r.name.empty() ? d->frags.begin()->first
+                              : ns.frag_of(r.dir, r.name).frag;
+  }
+  if (d == nullptr) {
+    rep.ok = false;
+  } else {
+    switch (r.op) {
+      case OpType::Create: {
+        const auto ino = ns.create(r.dir, r.name, now);
+        rep.ok = ino != kNoInode;
+        rep.result_ino = ino;
+        break;
+      }
+      case OpType::Mkdir: {
+        const auto ino = ns.mkdir(r.dir, r.name, now);
+        rep.ok = ino != kNoInode;
+        rep.result_ino = ino;
+        break;
+      }
+      case OpType::Getattr:
+      case OpType::Lookup: {
+        const auto ino = ns.lookup(r.dir, r.name);
+        rep.ok = ino != kNoInode;
+        rep.result_ino = ino;
+        break;
+      }
+      case OpType::Readdir:
+        rep.ok = true;
+        break;
+      case OpType::Unlink:
+        rep.ok = ns.remove(r.dir, r.name);
+        break;
+      case OpType::Rename: {
+        const InodeId moving = ns.lookup(r.dir, r.name);
+        const bool moving_dir =
+            moving != kNoInode && ns.inode(moving) != nullptr &&
+            ns.inode(moving)->is_dir;
+        const DirFragId dst = ns.frag_of(r.dst_dir, r.dst_name);
+        rep.ok = ns.rename(r.dir, r.name, r.dst_dir, r.dst_name);
+        rep.result_ino = moving;
+        if (rep.ok && moving_dir) {
+          const MdsRank dst_auth = cluster_.auth_of(dst);
+          if (dst_auth != rank_ && dst_auth != kNoRank) {
+            // A directory renamed across an auth boundary follows its new
+            // parent: the whole moved subtree changes hands, and "client
+            // sessions ... are flushed when slave MDS nodes rename or
+            // migrate directories."
+            cluster_.reparent_subtree(moving, rank_, dst_auth);
+            cluster_.flush_client_sessions(rank_, dst_auth);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Load accounting: the op heats the dirfrag it touched (and, nested, all
+  // of its ancestors).
+  if (d != nullptr) {
+    if (r.op == OpType::Readdir) {
+      // A listing touches every fragment of the directory.
+      std::vector<frag_t> frags;
+      for (const auto& [f, df] : d->frags) frags.push_back(f);
+      for (const frag_t f : frags)
+        ns.record_op({r.dir, f}, MetaOp::READDIR, now);
+    } else {
+      const DirFragId target = ns.frag_of(r.dir, r.name);
+      ns.record_op(target, op_to_meta(r.op), now);
+      if (r.op == OpType::Create || r.op == OpType::Mkdir)
+        cluster_.maybe_split(target);
+      else if (r.op == OpType::Unlink)
+        cluster_.maybe_merge(r.dir);
+    }
+  }
+
+  ++stats_.completed;
+  ++done_in_window_;
+  stats_.throughput.record(now);
+  cluster_.note_session(rank_, r.client);
+  cluster_.deliver_reply(rep);
+}
+
+HeartbeatPayload MdsNode::measure() {
+  const Time now = cluster_.engine().now();
+  const ClusterConfig& cfg = cluster_.config();
+  HeartbeatPayload hb;
+  hb.rank = rank_;
+  hb.sent_at = now;
+
+  const Time window = std::max<Time>(now - window_start_, 1);
+  const double busy_frac =
+      static_cast<double>(busy_in_window_) / static_cast<double>(window);
+  // Instantaneous CPU measurement: true utilization plus sampling noise —
+  // the paper's "instantaneous measurements make the balancer sensitive to
+  // common system perturbations".
+  double cpu = busy_frac * 100.0;
+  if (cfg.cpu_noise_pct > 0.0) cpu += rng_.gaussian(0.0, cfg.cpu_noise_pct);
+  hb.cpu_pct = std::clamp(cpu, 0.0, 100.0);
+  hb.req_rate = static_cast<double>(done_in_window_) / to_seconds(window);
+  hb.queue_len = static_cast<double>(queue_.size());
+
+  const auto entries = cluster_.auth_entry_counts();
+  hb.mem_pct = std::clamp(
+      100.0 * static_cast<double>(entries[static_cast<std::size_t>(rank_)]) /
+          cfg.mem_capacity_entries,
+      0.0, 100.0);
+
+  // Metadata loads via the installed policy (or the CephFS default).
+  auto apply_metaload = [&](const PopSnapshot& p) {
+    return balancer_ ? balancer_->metaload(p) : default_metaload(p);
+  };
+  double auth_load = 0.0;
+  for (const DirFragId& root : cluster_.roots_of(rank_))
+    auth_load += apply_metaload(cluster_.subtree_pop(root, rank_, now));
+  hb.auth_metaload = auth_load;
+  hb.all_metaload = auth_load + forward_pop_.get(now, cluster_.ns().decay_rate());
+  return hb;
+}
+
+void MdsNode::tick() {
+  const Time now = cluster_.engine().now();
+  const ClusterConfig& cfg = cluster_.config();
+
+  HeartbeatPayload me = measure();
+  hb_[static_cast<std::size_t>(rank_)] = me;
+
+  // Heartbeats take time to pack, travel and unpack; peers see the past,
+  // and how far in the past varies per delivery.
+  for (int p = 0; p < cluster_.num_mds(); ++p) {
+    if (p == rank_) continue;
+    Time delay = cfg.hb_delay;
+    if (cfg.hb_jitter_frac > 0.0) {
+      const double f =
+          1.0 + cfg.hb_jitter_frac * (2.0 * rng_.next_double() - 1.0);
+      delay = static_cast<Time>(static_cast<double>(delay) * f);
+    }
+    cluster_.engine().schedule_after(delay, [this, p, me]() {
+      cluster_.node(p).on_heartbeat(me);
+    });
+  }
+
+  if (balancer_ != nullptr) {
+    ClusterView view;
+    view.whoami = rank_;
+    view.now = now;
+    view.mdss = hb_;
+    view.loads.resize(hb_.size());
+    for (std::size_t i = 0; i < hb_.size(); ++i)
+      view.loads[i] = balancer_->mdsload(hb_[i]);
+    view.total_load = 0.0;
+    for (const double l : view.loads) view.total_load += l;
+
+    if (view.total_load >= cfg.bal_min_load && balancer_->when(view)) {
+      std::vector<double> targets = balancer_->where(view);
+      targets.resize(hb_.size(), 0.0);
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (static_cast<MdsRank>(t) == rank_) continue;
+        const double goal = targets[t] * cfg.need_min_factor;
+        if (goal <= cfg.bal_min_load) continue;
+        std::vector<ExportCandidate> pool =
+            cluster_.gather_candidates(rank_, goal, *balancer_, now);
+        const std::vector<std::size_t> picks =
+            best_selection(balancer_->howmuch(), pool, goal);
+        for (const std::size_t idx : picks)
+          cluster_.export_subtree(pool[idx].frag, static_cast<MdsRank>(t));
+      }
+    }
+  }
+
+  // Reset the measurement window.
+  window_start_ = now;
+  busy_in_window_ = 0;
+  done_in_window_ = 0;
+}
+
+// ===========================================================================
+// MdsCluster
+// ===========================================================================
+
+MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
+    : engine_(engine), cfg_(cfg), rng_(cfg.seed) {
+  sessions_.resize(static_cast<std::size_t>(cfg_.num_mds));
+  for (int r = 0; r < cfg_.num_mds; ++r) {
+    nodes_.push_back(std::make_unique<MdsNode>(*this, r, rng_.fork()));
+    journals_.push_back(std::make_unique<store::Journal>(
+        store_, "mds" + std::to_string(r) + ".journal"));
+  }
+  // Rank 0 starts as the authority for the whole namespace.
+  const DirFragId root{ns_.root(), frag_t()};
+  ns_.frag(root)->auth = 0;
+  subtree_roots_[root] = 0;
+}
+
+void MdsCluster::set_balancer(MdsRank rank, std::unique_ptr<Balancer> b) {
+  node(rank).set_balancer(std::move(b));
+}
+
+void MdsCluster::set_balancer_all(const BalancerFactory& factory) {
+  for (int r = 0; r < num_mds(); ++r) node(r).set_balancer(factory(r));
+}
+
+void MdsCluster::schedule_tick(MdsRank rank) {
+  // Daemons drift: each tick lands somewhere inside its jitter window, so
+  // the order in which balancers observe and react to each other differs
+  // run to run (seed-dependent), as on a real cluster.
+  Time when = cfg_.bal_interval + static_cast<Time>(rank) * kMsec;
+  if (cfg_.tick_jitter > 0)
+    when += rng_.uniform(0, static_cast<std::uint64_t>(cfg_.tick_jitter));
+  engine_.schedule_after(when, [this, rank]() {
+    node(rank).tick();
+    flush_dirty(rank);
+    schedule_tick(rank);
+  });
+}
+
+void MdsCluster::start() {
+  for (int r = 0; r < num_mds(); ++r) schedule_tick(r);
+}
+
+void MdsCluster::client_submit(Request r, MdsRank guess) {
+  if (guess < 0 || guess >= num_mds()) guess = 0;
+  engine_.schedule_after(cfg_.net_latency, [this, guess, r = std::move(r)]() mutable {
+    node(guess).on_arrival(std::move(r));
+  });
+}
+
+void MdsCluster::route_to(MdsRank rank, Request r) {
+  engine_.schedule_after(cfg_.net_latency, [this, rank, r = std::move(r)]() mutable {
+    node(rank).on_arrival(std::move(r));
+  });
+}
+
+MdsRank MdsCluster::auth_of(const DirFragId& id) const {
+  const DirFrag* f = ns_.frag(id);
+  if (f == nullptr) return kNoRank;
+  return f->auth == kNoRank ? 0 : f->auth;
+}
+
+std::vector<DirFragId> MdsCluster::roots_of(MdsRank rank) const {
+  std::vector<DirFragId> out;
+  for (const auto& [frag, r] : subtree_roots_)
+    if (r == rank) out.push_back(frag);
+  return out;
+}
+
+bool MdsCluster::frag_contains(const DirFragId& outer,
+                               const DirFragId& inner) const {
+  if (outer.ino == inner.ino) return outer.frag.contains(inner.frag);
+  InodeId cur = inner.ino;
+  while (cur != kNoInode) {
+    const mantle::mds::Inode* node = ns_.inode(cur);
+    if (node == nullptr) return false;
+    if (node->parent == outer.ino)
+      return outer.frag.contains(hash_dentry_name(node->name));
+    cur = node->parent;
+  }
+  return false;
+}
+
+bool MdsCluster::is_frozen(const DirFragId& id) const {
+  for (const auto& [mid, mig] : active_migrations_)
+    if (frag_contains(mig.rec.frag, id)) return true;
+  return false;
+}
+
+void MdsCluster::defer_to_migration(const DirFragId& id, Request r) {
+  for (auto& [mid, mig] : active_migrations_) {
+    if (frag_contains(mig.rec.frag, id)) {
+      mig.deferred.push_back(std::move(r));
+      return;
+    }
+  }
+  // Raced with completion: just resend toward the current authority.
+  route_to(auth_of(id), std::move(r));
+}
+
+PopSnapshot MdsCluster::subtree_pop(const DirFragId& root, MdsRank rank,
+                                    Time now) const {
+  PopSnapshot out;
+  const auto& rate = ns_.decay_rate();
+  // Depth-first over the frag-scoped subtree, stopping at foreign bounds.
+  std::vector<DirFragId> stack{root};
+  while (!stack.empty()) {
+    const DirFragId cur = stack.back();
+    stack.pop_back();
+    const DirFrag* f = ns_.frag(cur);
+    if (f == nullptr) continue;
+    if (rank != kNoRank && f->auth != rank) continue;  // foreign bound
+    out.ird += f->pop.get(MetaOp::IRD, now, rate);
+    out.iwr += f->pop.get(MetaOp::IWR, now, rate);
+    out.readdir += f->pop.get(MetaOp::READDIR, now, rate);
+    out.fetch += f->pop.get(MetaOp::FETCH, now, rate);
+    out.store += f->pop.get(MetaOp::STORE, now, rate);
+    for (const auto& [name, ino] : f->dentries) {
+      const mantle::mds::Dir* child = ns_.dir(ino);
+      if (child == nullptr) continue;
+      for (const auto& [cf, cdf] : child->frags) stack.push_back({ino, cf});
+    }
+  }
+  return out;
+}
+
+std::size_t MdsCluster::subtree_entry_count(const DirFragId& root,
+                                            MdsRank rank) const {
+  std::size_t out = 0;
+  std::vector<DirFragId> stack{root};
+  while (!stack.empty()) {
+    const DirFragId cur = stack.back();
+    stack.pop_back();
+    const DirFrag* f = ns_.frag(cur);
+    if (f == nullptr) continue;
+    if (rank != kNoRank && f->auth != rank) continue;
+    out += f->dentries.size();
+    for (const auto& [name, ino] : f->dentries) {
+      const mantle::mds::Dir* child = ns_.dir(ino);
+      if (child == nullptr) continue;
+      for (const auto& [cf, cdf] : child->frags) stack.push_back({ino, cf});
+    }
+  }
+  return out;
+}
+
+std::vector<ExportCandidate> MdsCluster::gather_candidates(MdsRank rank,
+                                                           double target,
+                                                           Balancer& policy,
+                                                           Time now) {
+  struct Item {
+    ExportCandidate cand;
+    bool drillable = true;
+  };
+  std::vector<Item> pool;
+  auto add = [&](const DirFragId& id) {
+    if (is_frozen(id)) return;
+    Item item;
+    item.cand.frag = id;
+    item.cand.load = policy.metaload(subtree_pop(id, rank, now));
+    item.cand.entries = subtree_entry_count(id, rank);
+    pool.push_back(std::move(item));
+  };
+  for (const DirFragId& root : roots_of(rank)) add(root);
+
+  // Drill down: a candidate too hot to ship whole is replaced by its child
+  // directories' fragments ("subtrees are divided and migrated only if
+  // their ancestors are too popular to migrate", §3.2).
+  const double too_big = target * cfg_.too_big_factor;
+  for (int depth = 0; depth < cfg_.max_drill_depth; ++depth) {
+    bool drilled = false;
+    std::vector<Item> next;
+    for (Item& item : pool) {
+      if (!item.drillable || item.cand.load <= too_big) {
+        next.push_back(std::move(item));
+        continue;
+      }
+      const DirFrag* f = ns_.frag(item.cand.frag);
+      if (f == nullptr) {
+        continue;
+      }
+      std::vector<DirFragId> children;
+      for (const auto& [name, ino] : f->dentries) {
+        const mantle::mds::Dir* child = ns_.dir(ino);
+        if (child == nullptr) continue;
+        for (const auto& [cf, cdf] : child->frags)
+          if (cdf.auth == rank) children.push_back({ino, cf});
+      }
+      if (children.empty()) {
+        // A hot flat directory: nothing below to descend into, so it is
+        // exportable as-is (directory fragmentation handles splitting).
+        item.drillable = false;
+        next.push_back(std::move(item));
+        continue;
+      }
+      drilled = true;
+      for (const DirFragId& c : children) {
+        if (is_frozen(c)) continue;
+        Item ci;
+        ci.cand.frag = c;
+        ci.cand.load = policy.metaload(subtree_pop(c, rank, now));
+        ci.cand.entries = subtree_entry_count(c, rank);
+        next.push_back(std::move(ci));
+      }
+    }
+    pool = std::move(next);
+    if (!drilled) break;
+  }
+
+  std::vector<ExportCandidate> out;
+  out.reserve(pool.size());
+  for (Item& item : pool)
+    if (item.cand.load > 0.0 || item.cand.entries > 0)
+      out.push_back(std::move(item.cand));
+  std::sort(out.begin(), out.end(),
+            [](const ExportCandidate& a, const ExportCandidate& b) {
+              if (a.load != b.load) return a.load > b.load;
+              return a.frag < b.frag;
+            });
+  return out;
+}
+
+bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to) {
+  if (to < 0 || to >= num_mds()) return false;
+  const MdsRank from = auth_of(frag);
+  if (from == kNoRank || from == to) return false;
+  if (is_frozen(frag)) return false;
+  if (ns_.frag(frag) == nullptr) return false;
+
+  const Time now = engine_.now();
+  const std::size_t entries = subtree_entry_count(frag, from);
+
+  ActiveMigration mig;
+  mig.rec.started = now;
+  mig.rec.from = from;
+  mig.rec.to = to;
+  mig.rec.frag = frag;
+  mig.rec.entries = entries;
+  const std::size_t id = next_migration_id_++;
+  active_migrations_[id] = std::move(mig);
+
+  // Two-phase commit: the exporter logs the export, the importer journals
+  // the incoming metadata, the exporter journals the commit. The handshake
+  // plus per-entry copying dominates migration latency.
+  journals_[static_cast<std::size_t>(from)]->append(
+      "EExport " + frag.str() + " to=" + std::to_string(to));
+  journals_[static_cast<std::size_t>(to)]->append(
+      "EImportStart " + frag.str() + " from=" + std::to_string(from));
+
+  node(from).stats().exports++;
+  node(to).stats().imports++;
+
+  const Time duration =
+      cfg_.mig_base + cfg_.mig_per_entry * static_cast<Time>(entries);
+  engine_.schedule_after(duration, [this, id]() { finish_migration(id); });
+  MANTLE_LOG_INFO("migration start %s: mds%d -> mds%d (%zu entries)",
+                  frag.str().c_str(), from, to, entries);
+  return true;
+}
+
+void MdsCluster::finish_migration(std::size_t idx) {
+  const auto it = active_migrations_.find(idx);
+  if (it == active_migrations_.end()) return;
+  ActiveMigration mig = std::move(it->second);
+  active_migrations_.erase(it);
+
+  const Time now = engine_.now();
+  const MdsRank from = mig.rec.from;
+  const MdsRank to = mig.rec.to;
+
+  // Flip authority on the exported fragment and everything nested under it
+  // that the exporter owned (foreign bounds keep their owners).
+  DirFrag* rootf = ns_.frag(mig.rec.frag);
+  if (rootf != nullptr) {
+    std::vector<DirFragId> stack{mig.rec.frag};
+    while (!stack.empty()) {
+      const DirFragId cur = stack.back();
+      stack.pop_back();
+      DirFrag* f = ns_.frag(cur);
+      if (f == nullptr || f->auth != from) continue;
+      f->auth = to;
+      // The importer has to fetch the dirfrag object from RADOS.
+      ns_.record_op(cur, MetaOp::FETCH, now);
+      for (const auto& [name, ino] : f->dentries) {
+        mantle::mds::Dir* child = ns_.dir(ino);
+        if (child == nullptr) continue;
+        for (const auto& [cf, cdf] : child->frags) stack.push_back({ino, cf});
+      }
+    }
+  }
+
+  // Update the subtree map: the exported frag becomes a bound owned by the
+  // importer; importer-owned roots strictly inside are absorbed.
+  for (auto rit = subtree_roots_.begin(); rit != subtree_roots_.end();) {
+    if (rit->first != mig.rec.frag && rit->second == to &&
+        frag_contains(mig.rec.frag, rit->first)) {
+      rit = subtree_roots_.erase(rit);
+    } else {
+      ++rit;
+    }
+  }
+  subtree_roots_[mig.rec.frag] = to;
+
+  journals_[static_cast<std::size_t>(from)]->append("EExportCommit " +
+                                                    mig.rec.frag.str());
+  journals_[static_cast<std::size_t>(to)]->append("EImportCommit " +
+                                                  mig.rec.frag.str());
+
+  // Client sessions on both ends are flushed (coherency: capabilities and
+  // leases must be re-established), stalling those clients briefly. The
+  // paper correlates per-balancer slowdown with exactly these flushes.
+  mig.rec.sessions_flushed = flush_client_sessions(from, to);
+
+  mig.rec.finished = now;
+  migrations_.push_back(mig.rec);
+
+  // Re-inject requests that arrived mid-migration at the new authority.
+  for (Request& r : mig.deferred) route_to(to, std::move(r));
+  MANTLE_LOG_INFO("migration done %s: mds%d -> mds%d (%zu sessions flushed)",
+                  mig.rec.frag.str().c_str(), from, to,
+                  mig.rec.sessions_flushed);
+}
+
+bool MdsCluster::maybe_merge(InodeId dirino) {
+  mantle::mds::Dir* d = ns_.dir(dirino);
+  if (d == nullptr || d->frags.size() <= 1) return false;
+  if (d->num_entries() >= cfg_.merge_size) return false;
+  MdsRank owner = kNoRank;
+  std::vector<DirFragId> child_roots;
+  for (const auto& [f, df] : d->frags) {
+    const MdsRank a = df.auth == kNoRank ? 0 : df.auth;
+    if (owner == kNoRank) owner = a;
+    if (a != owner) return false;  // auth boundary inside the directory
+    const DirFragId id{dirino, f};
+    if (is_frozen(id)) return false;
+    if (subtree_roots_.count(id) != 0) child_roots.push_back(id);
+  }
+  if (!ns_.merge(dirino, frag_t(), engine_.now())) return false;
+  ns_.frag({dirino, frag_t()})->auth = owner;
+  if (!child_roots.empty()) {
+    for (const DirFragId& r : child_roots) subtree_roots_.erase(r);
+    subtree_roots_[{dirino, frag_t()}] = owner;
+  }
+  MANTLE_LOG_INFO("dirfrag merge: dir %llu back to a single fragment",
+                  static_cast<unsigned long long>(dirino));
+  return true;
+}
+
+void MdsCluster::maybe_split(const DirFragId& id) {
+  DirFrag* f = ns_.frag(id);
+  if (f == nullptr || f->dentries.size() <= cfg_.split_size) return;
+  if (is_frozen(id)) return;
+  const auto rit = subtree_roots_.find(id);
+  const bool was_root = rit != subtree_roots_.end();
+  const MdsRank owner = was_root ? rit->second : auth_of(id);
+  const std::vector<frag_t> kids = ns_.split(id, cfg_.split_bits, engine_.now());
+  if (kids.empty()) return;
+  if (was_root) {
+    subtree_roots_.erase(id);
+    for (const frag_t k : kids) subtree_roots_[{id.ino, k}] = owner;
+  }
+  MANTLE_LOG_INFO("dirfrag split %s into %zu fragments", id.str().c_str(),
+                  kids.size());
+}
+
+void MdsCluster::flush_dirty(MdsRank rank) {
+  // Periodic dirty-dirfrag writeback: each flush is a STORE on the frag
+  // (feeding the `store` term of the metaload) and an omap write.
+  const Time now = engine_.now();
+  for (const DirFragId& root : roots_of(rank)) {
+    std::vector<DirFragId> stack{root};
+    while (!stack.empty()) {
+      const DirFragId cur = stack.back();
+      stack.pop_back();
+      DirFrag* f = ns_.frag(cur);
+      if (f == nullptr || f->auth != rank) continue;
+      if (f->dirty) {
+        f->dirty = false;
+        store_.omap_set("dir." + cur.str(), "version",
+                        std::to_string(now / kMsec));
+        ns_.record_op(cur, MetaOp::STORE, now);
+      }
+      for (const auto& [name, ino] : f->dentries) {
+        mantle::mds::Dir* child = ns_.dir(ino);
+        if (child == nullptr) continue;
+        for (const auto& [cf, cdf] : child->frags) stack.push_back({ino, cf});
+      }
+    }
+  }
+}
+
+void MdsCluster::reparent_subtree(InodeId dir, MdsRank from, MdsRank to) {
+  mantle::mds::Dir* d = ns_.dir(dir);
+  if (d == nullptr || from == to) return;
+  std::vector<DirFragId> stack;
+  for (const auto& [f, df] : d->frags) stack.push_back({dir, f});
+  while (!stack.empty()) {
+    const DirFragId cur = stack.back();
+    stack.pop_back();
+    DirFrag* f = ns_.frag(cur);
+    if (f == nullptr || f->auth != from) continue;  // keep foreign bounds
+    f->auth = to;
+    const auto rit = subtree_roots_.find(cur);
+    if (rit != subtree_roots_.end() && rit->second == from)
+      rit->second = to;
+    for (const auto& [name, ino] : f->dentries) {
+      mantle::mds::Dir* child = ns_.dir(ino);
+      if (child == nullptr) continue;
+      for (const auto& [cf, cdf] : child->frags) stack.push_back({ino, cf});
+    }
+  }
+}
+
+std::size_t MdsCluster::flush_client_sessions(MdsRank a, MdsRank b) {
+  if (a < 0 || b < 0 || a >= num_mds() || b >= num_mds()) return 0;
+  const Time now = engine_.now();
+  std::set<int> flushed = sessions_[static_cast<std::size_t>(a)];
+  flushed.insert(sessions_[static_cast<std::size_t>(b)].begin(),
+                 sessions_[static_cast<std::size_t>(b)].end());
+  sessions_flushed_ += flushed.size();
+  for (const int c : flushed) {
+    Time& until = client_stall_until_[c];
+    until = std::max(until, now + cfg_.session_flush_stall);
+  }
+  return flushed.size();
+}
+
+void MdsCluster::deliver_reply(Reply rep) {
+  Time when = engine_.now() + cfg_.net_latency;
+  const auto it = client_stall_until_.find(rep.client);
+  if (it != client_stall_until_.end() && it->second > when) when = it->second;
+  if (reply_cb_) {
+    engine_.schedule_at(when, [this, rep = std::move(rep)]() { reply_cb_(rep); });
+  }
+}
+
+void MdsCluster::note_session(MdsRank rank, int client) {
+  if (client >= 0) sessions_[static_cast<std::size_t>(rank)].insert(client);
+}
+
+std::uint64_t MdsCluster::total_forwards() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->stats().forwards_out;
+  return n;
+}
+
+std::uint64_t MdsCluster::total_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->stats().hits;
+  return n;
+}
+
+std::uint64_t MdsCluster::total_completed() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->stats().completed;
+  return n;
+}
+
+std::vector<std::size_t> MdsCluster::auth_entry_counts() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(num_mds()), 0);
+  for (const auto& [frag, rank] : subtree_roots_)
+    out[static_cast<std::size_t>(rank)] += subtree_entry_count(frag, rank);
+  return out;
+}
+
+}  // namespace mantle::cluster

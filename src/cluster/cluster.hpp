@@ -1,0 +1,340 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/balancer.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timeline.hpp"
+#include "mds/namespace.hpp"
+#include "sim/engine.hpp"
+#include "store/object_store.hpp"
+
+/// \file cluster.hpp
+/// The simulated CephFS metadata cluster: N MDS nodes serving one shared
+/// namespace, with dynamic subtree partitioning, directory fragmentation,
+/// heartbeat-based load exchange, and two-phase-commit inode migration.
+/// This is the mechanism layer of Figure 2 in the paper ("send HB /
+/// recv HB / rebalance / fragment / partition cluster / partition
+/// namespace / migrate"); the policy decisions are delegated to a
+/// per-node Balancer (either the hard-coded CephFS one or Mantle).
+
+namespace mantle::cluster {
+
+using mantle::Rng;
+using mantle::Time;
+using mantle::Timeline;
+using mantle::mds::DirFragId;
+using mantle::mds::InodeId;
+using mantle::mds::MdsRank;
+using mantle::mds::MetaOp;
+
+struct ClusterConfig {
+  int num_mds = 1;
+  std::uint64_t seed = 1;
+
+  // -- service model (all times in simulated microseconds) -----------------
+  Time net_latency = 100;        // one-way client<->MDS / MDS<->MDS hop
+  Time svc_create = 150;
+  Time svc_mkdir = 250;
+  Time svc_getattr = 60;
+  Time svc_lookup = 60;
+  Time svc_readdir = 400;
+  Time svc_unlink = 120;
+  Time svc_forward = 30;         // cost of bouncing a misdirected request
+  /// Extra per-request cost when the serving MDS is not the authority of
+  /// the target's parent directory: it must resolve the path against
+  /// replicated ancestor prefixes and keep them coherent. Part of the
+  /// locality tax of §2.1 (fewer forwards, less coherency communication,
+  /// less prefix-replica memory).
+  Time svc_remote_prefix = 10;
+  /// Per-mutation cost for each *additional* MDS sharing fragments of the
+  /// target directory: updating fragstats/rstats on a directory whose
+  /// dirfrags span k MDS nodes requires scatter-gather rounds with the
+  /// other k-1 ("halting updates on a directory, sending stats around the
+  /// cluster, and waiting for the authoritative MDS", §4.1 footnote).
+  /// This is what makes spreading one hot directory progressively more
+  /// expensive as more MDS nodes share it.
+  Time svc_scatter_gather = 18;
+  double svc_jitter = 0.08;      // +/- fraction on service times
+
+  // -- balancing -------------------------------------------------------------
+  Time bal_interval = 10 * kSec;   // heartbeat + rebalance period (CephFS: 10s)
+  Time hb_delay = 250 * kMsec;     // pack + network + unpack => stale views
+  /// Daemons are not synchronized: each balancer tick lands up to this
+  /// much after its nominal time, and heartbeat delays vary by up to
+  /// +/- hb_jitter_frac. Both feed the run-to-run irreproducibility the
+  /// paper documents in Figure 4 (decisions race against stale state).
+  Time tick_jitter = 500 * kMsec;
+  double hb_jitter_frac = 0.5;
+  double cpu_noise_pct = 4.0;      // stddev of instantaneous CPU measurement
+  double bal_min_load = 0.01;      // below this an MDS is "idle"
+  double need_min_factor = 1.0;    // target-load fudge (ablation: 0.8, §2.2.3)
+  int max_drill_depth = 8;         // namespace drill-down bound
+  double too_big_factor = 1.0;     // candidates above target*factor get drilled
+
+  // -- directory fragmentation -------------------------------------------------
+  std::size_t split_size = 50000;  // dentries before a dirfrag splits (paper)
+  std::uint8_t split_bits = 3;     // first split makes 2^3 = 8 dirfrags (paper)
+  std::size_t merge_size = 50;     // fragmented dirs below this merge back
+
+  // -- migration cost model ------------------------------------------------------
+  Time mig_base = 20 * kMsec;       // 2PC journaling handshake floor
+  Time mig_per_entry = 10;          // per exported dentry
+  Time session_flush_stall = 10 * kMsec;  // per-client stall on session flush
+  double mem_capacity_entries = 400000;  // entries mapping to 100% memory
+};
+
+enum class OpType { Create, Mkdir, Getattr, Lookup, Readdir, Unlink, Rename };
+
+const char* op_name(OpType op);
+
+/// A client metadata request, addressed by directory inode + dentry name.
+struct Request {
+  std::uint64_t id = 0;
+  int client = -1;
+  OpType op = OpType::Getattr;
+  InodeId dir = mantle::mds::kNoInode;
+  std::string name;
+  // Rename only: destination directory + dentry name.
+  InodeId dst_dir = mantle::mds::kNoInode;
+  std::string dst_name;
+  Time issued_at = 0;
+  int hops = 0;  // forwards experienced so far
+};
+
+struct Reply {
+  std::uint64_t req_id = 0;
+  int client = -1;
+  bool ok = false;
+  MdsRank served_by = mantle::mds::kNoRank;
+  InodeId dir = mantle::mds::kNoInode;   // for the client's auth cache
+  mantle::mds::frag_t frag;              // which dirfrag served the op
+  InodeId result_ino = mantle::mds::kNoInode;
+  int hops = 0;
+  Time issued_at = 0;
+  Time finished_at = 0;
+};
+
+/// A completed or in-flight subtree migration, for logs and tests.
+struct MigrationRecord {
+  Time started = 0;
+  Time finished = 0;
+  MdsRank from = mantle::mds::kNoRank;
+  MdsRank to = mantle::mds::kNoRank;
+  DirFragId frag;
+  std::size_t entries = 0;
+  std::size_t sessions_flushed = 0;
+};
+
+struct MdsStats {
+  std::uint64_t completed = 0;
+  std::uint64_t forwards_out = 0;  // requests this node had to bounce
+  std::uint64_t hits = 0;          // requests it served as the authority
+  std::uint64_t remote_prefix_ops = 0;  // served with a foreign parent dir
+  std::uint64_t exports = 0;
+  std::uint64_t imports = 0;
+  Timeline throughput{mantle::kSec};  // completed requests per second
+};
+
+class MdsCluster;
+
+/// One metadata server: a FIFO service queue, per-window utilization
+/// accounting, heartbeat state, and a pluggable balancing policy.
+class MdsNode {
+ public:
+  MdsNode(MdsCluster& cluster, MdsRank rank, Rng rng);
+
+  MdsRank rank() const { return rank_; }
+
+  void set_balancer(std::unique_ptr<Balancer> b) { balancer_ = std::move(b); }
+  Balancer* balancer() { return balancer_.get(); }
+
+  /// A request arrives over the network (from a client or a forward).
+  void on_arrival(Request r);
+
+  /// Heartbeat from a peer lands after its network delay.
+  void on_heartbeat(const HeartbeatPayload& hb);
+
+  /// Periodic balancer tick: measure, send heartbeats, maybe rebalance.
+  void tick();
+
+  const MdsStats& stats() const { return stats_; }
+  MdsStats& stats() { return stats_; }
+  std::size_t queue_length() const { return queue_.size(); }
+
+  /// Fresh metrics snapshot (also what goes into this node's heartbeat).
+  HeartbeatPayload measure();
+
+ private:
+  friend class MdsCluster;
+
+  void maybe_start();
+  void process_front();
+  void complete(Request r, Time svc);
+  Time service_time(OpType op);
+
+  MdsCluster& cluster_;
+  MdsRank rank_;
+  Rng rng_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+
+  // Window accounting for CPU / request-rate metrics.
+  Time window_start_ = 0;
+  Time busy_in_window_ = 0;
+  std::uint64_t done_in_window_ = 0;
+
+  std::vector<HeartbeatPayload> hb_;  // last received from each rank
+  std::unique_ptr<Balancer> balancer_;
+  MdsStats stats_;
+  mantle::DecayCounter forward_pop_;  // decayed load from misdirected reqs
+};
+
+/// The cluster: owns the namespace, the object store, the MDS nodes, the
+/// subtree-authority map and the migration machinery.
+class MdsCluster {
+ public:
+  MdsCluster(sim::Engine& engine, ClusterConfig cfg);
+
+  sim::Engine& engine() { return engine_; }
+  const ClusterConfig& config() const { return cfg_; }
+  mantle::mds::Namespace& ns() { return ns_; }
+  const mantle::mds::Namespace& ns() const { return ns_; }
+  store::ObjectStore& object_store() { return store_; }
+
+  int num_mds() const { return static_cast<int>(nodes_.size()); }
+  MdsNode& node(MdsRank r) { return *nodes_.at(static_cast<std::size_t>(r)); }
+
+  /// Install a balancing policy on one node (or all nodes via rank -1).
+  void set_balancer(MdsRank rank, std::unique_ptr<Balancer> b);
+
+  /// Factory used by set_balancer_all to give each node its own instance.
+  using BalancerFactory = std::function<std::unique_ptr<Balancer>(MdsRank)>;
+  void set_balancer_all(const BalancerFactory& factory);
+
+  /// Kick off periodic balancer ticks (call once before running the engine).
+  void start();
+
+  /// Deliver replies to whoever owns the clients.
+  void set_reply_handler(std::function<void(const Reply&)> cb) {
+    reply_cb_ = std::move(cb);
+  }
+
+  /// Client entry point: send a request toward `guess` (the client's
+  /// cached authority); the cluster applies network latency.
+  void client_submit(Request r, MdsRank guess);
+
+  // -- Authority / subtree map -------------------------------------------------
+  MdsRank auth_of(const DirFragId& id) const;
+  const std::map<DirFragId, MdsRank>& subtree_roots() const { return subtree_roots_; }
+
+  /// Subtree roots owned by one rank.
+  std::vector<DirFragId> roots_of(MdsRank rank) const;
+
+  /// True if `outer` is an ancestor-or-equal dirfrag of `inner` (i.e. the
+  /// path from inner up to the root passes through outer).
+  bool frag_contains(const DirFragId& outer, const DirFragId& inner) const;
+
+  /// A dirfrag is frozen while a migration that covers it is in flight.
+  bool is_frozen(const DirFragId& id) const;
+
+  /// Aggregate popularity of the auth-subtree rooted at `root` counting
+  /// only fragments owned by `rank` (kNoRank = count everything).
+  PopSnapshot subtree_pop(const DirFragId& root, MdsRank rank, Time now) const;
+
+  /// Dentries in the subtree hanging below `root` (same rank filter).
+  std::size_t subtree_entry_count(const DirFragId& root, MdsRank rank) const;
+
+  /// Start a two-phase-commit export of `frag` from its current authority
+  /// to `to`. No-op if already owned by `to`, frozen, or invalid.
+  bool export_subtree(const DirFragId& frag, MdsRank to);
+
+  /// Forward a request to another MDS (one network hop).
+  void route_to(MdsRank rank, Request r);
+
+  /// Park a request on the in-flight migration covering `id`; it is
+  /// re-injected at the importer when the migration commits.
+  void defer_to_migration(const DirFragId& id, Request r);
+
+  /// Split a dirfrag that crossed the size threshold (GIGA+-style
+  /// mechanism; policy is just the threshold in the config).
+  void maybe_split(const DirFragId& id);
+
+  /// Merge a shrunken fragmented directory back into a single fragment.
+  /// Only possible when every fragment has the same authority (CephFS
+  /// cannot merge across an auth boundary) and none is mid-migration.
+  /// Returns true if a merge happened.
+  bool maybe_merge(InodeId dir);
+
+  /// Write back dirty dirfrags owned by `rank` (bumps STORE pops).
+  void flush_dirty(MdsRank rank);
+
+  /// Flush the client sessions attached to two ranks (metadata moved
+  /// between them: migration commit or a cross-MDS "slave" rename). Each
+  /// affected client stalls for session_flush_stall. Returns the number
+  /// of sessions flushed.
+  std::size_t flush_client_sessions(MdsRank a, MdsRank b);
+
+  /// Hand the subtree rooted at `dir` from one authority to another
+  /// (directory renamed across an auth boundary: it follows its new
+  /// parent). Nested foreign bounds keep their owners.
+  void reparent_subtree(InodeId dir, MdsRank from, MdsRank to);
+
+  /// Build the export-candidate pool for `rank` against a target load,
+  /// drilling into candidates too hot to move whole (paper: "subtrees are
+  /// divided and migrated only if their ancestors are too popular").
+  /// Sorted by descending load; frozen and foreign fragments excluded.
+  std::vector<ExportCandidate> gather_candidates(MdsRank rank, double target,
+                                                 Balancer& policy, Time now);
+
+  // -- Introspection -----------------------------------------------------------
+  const std::vector<MigrationRecord>& migrations() const { return migrations_; }
+  std::uint64_t total_sessions_flushed() const { return sessions_flushed_; }
+  std::uint64_t total_forwards() const;
+  std::uint64_t total_hits() const;
+  std::uint64_t total_completed() const;
+
+  /// Per-rank count of dentries currently under its authority.
+  std::vector<std::size_t> auth_entry_counts() const;
+
+ private:
+  friend class MdsNode;
+
+  struct ActiveMigration {
+    MigrationRecord rec;
+    std::vector<Request> deferred;
+  };
+
+  void deliver_reply(Reply rep);
+  void note_session(MdsRank rank, int client);
+  void finish_migration(std::size_t idx);
+  void schedule_tick(MdsRank rank);
+
+  sim::Engine& engine_;
+  ClusterConfig cfg_;
+  Rng rng_;
+  mantle::mds::Namespace ns_;
+  store::ObjectStore store_;
+  std::vector<std::unique_ptr<MdsNode>> nodes_;
+  std::vector<std::unique_ptr<store::Journal>> journals_;
+
+  std::map<DirFragId, MdsRank> subtree_roots_;
+  std::map<std::size_t, ActiveMigration> active_migrations_;  // by id
+  std::size_t next_migration_id_ = 0;
+  std::vector<MigrationRecord> migrations_;
+
+  std::vector<std::set<int>> sessions_;       // per-rank client sessions
+  std::map<int, Time> client_stall_until_;    // session-flush penalties
+  std::uint64_t sessions_flushed_ = 0;
+
+  std::function<void(const Reply&)> reply_cb_;
+};
+
+}  // namespace mantle::cluster

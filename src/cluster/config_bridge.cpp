@@ -1,0 +1,108 @@
+#include "cluster/config_bridge.hpp"
+
+#include <set>
+
+namespace mantle::cluster {
+
+namespace {
+
+struct KeyBinding {
+  const char* key;
+  void (*apply)(ClusterConfig&, const mantle::Config&, const char*);
+};
+
+void set_time_us(Time& slot, const mantle::Config& cfg, const char* key) {
+  slot = static_cast<Time>(cfg.get_int(key, static_cast<long long>(slot)));
+}
+
+#define MANTLE_TIME_KEY(key, field)                                   \
+  {key, [](ClusterConfig& c, const mantle::Config& v, const char* k) { \
+     set_time_us(c.field, v, k);                                      \
+   }}
+#define MANTLE_DOUBLE_KEY(key, field)                                  \
+  {key, [](ClusterConfig& c, const mantle::Config& v, const char* k) { \
+     c.field = v.get_double(k, c.field);                               \
+   }}
+#define MANTLE_SIZE_KEY(key, field)                                    \
+  {key, [](ClusterConfig& c, const mantle::Config& v, const char* k) { \
+     c.field = static_cast<std::size_t>(                               \
+         v.get_int(k, static_cast<long long>(c.field)));               \
+   }}
+
+const std::vector<KeyBinding>& bindings() {
+  static const std::vector<KeyBinding> b = {
+      // CephFS-vocabulary balancing knobs.
+      {"mds_bal_interval",
+       [](ClusterConfig& c, const mantle::Config& v, const char* k) {
+         c.bal_interval = static_cast<Time>(
+             v.get_double(k, to_seconds(c.bal_interval)) * 1e6);
+       }},
+      MANTLE_SIZE_KEY("mds_bal_split_size", split_size),
+      {"mds_bal_fragment_bits",
+       [](ClusterConfig& c, const mantle::Config& v, const char* k) {
+         c.split_bits = static_cast<std::uint8_t>(
+             v.get_int(k, static_cast<long long>(c.split_bits)));
+       }},
+      MANTLE_SIZE_KEY("mds_bal_merge_size", merge_size),
+      MANTLE_DOUBLE_KEY("mds_bal_need_min", need_min_factor),
+      MANTLE_DOUBLE_KEY("mds_bal_min_rebalance", bal_min_load),
+
+      // Simulator knobs.
+      {"sim_num_mds",
+       [](ClusterConfig& c, const mantle::Config& v, const char* k) {
+         c.num_mds = static_cast<int>(v.get_int(k, c.num_mds));
+       }},
+      {"sim_seed",
+       [](ClusterConfig& c, const mantle::Config& v, const char* k) {
+         c.seed = static_cast<std::uint64_t>(
+             v.get_int(k, static_cast<long long>(c.seed)));
+       }},
+      MANTLE_TIME_KEY("sim_net_latency_us", net_latency),
+      MANTLE_TIME_KEY("sim_svc_create_us", svc_create),
+      MANTLE_TIME_KEY("sim_svc_mkdir_us", svc_mkdir),
+      MANTLE_TIME_KEY("sim_svc_getattr_us", svc_getattr),
+      MANTLE_TIME_KEY("sim_svc_lookup_us", svc_lookup),
+      MANTLE_TIME_KEY("sim_svc_readdir_us", svc_readdir),
+      MANTLE_TIME_KEY("sim_svc_unlink_us", svc_unlink),
+      MANTLE_TIME_KEY("sim_svc_forward_us", svc_forward),
+      MANTLE_TIME_KEY("sim_svc_remote_prefix_us", svc_remote_prefix),
+      MANTLE_TIME_KEY("sim_svc_scatter_gather_us", svc_scatter_gather),
+      MANTLE_DOUBLE_KEY("sim_svc_jitter", svc_jitter),
+      MANTLE_TIME_KEY("sim_hb_delay_us", hb_delay),
+      MANTLE_TIME_KEY("sim_tick_jitter_us", tick_jitter),
+      MANTLE_DOUBLE_KEY("sim_hb_jitter_frac", hb_jitter_frac),
+      MANTLE_DOUBLE_KEY("sim_cpu_noise_pct", cpu_noise_pct),
+      MANTLE_TIME_KEY("sim_mig_base_us", mig_base),
+      MANTLE_TIME_KEY("sim_mig_per_entry_us", mig_per_entry),
+      MANTLE_TIME_KEY("sim_session_flush_stall_us", session_flush_stall),
+      MANTLE_DOUBLE_KEY("sim_mem_capacity_entries", mem_capacity_entries),
+  };
+  return b;
+}
+
+#undef MANTLE_TIME_KEY
+#undef MANTLE_DOUBLE_KEY
+#undef MANTLE_SIZE_KEY
+
+}  // namespace
+
+ClusterConfig apply_config(ClusterConfig base, const mantle::Config& cfg) {
+  for (const KeyBinding& b : bindings())
+    if (cfg.contains(b.key)) b.apply(base, cfg, b.key);
+  return base;
+}
+
+std::vector<std::string> unknown_config_keys(const mantle::Config& cfg) {
+  std::set<std::string> known;
+  for (const KeyBinding& b : bindings()) known.insert(b.key);
+  // Mantle policy hooks are consumed by MantleBalancer, not here.
+  for (const char* k : {"mds_bal_metaload", "mds_bal_mdsload", "mds_bal_when",
+                        "mds_bal_where", "mds_bal_howmuch"})
+    known.insert(k);
+  std::vector<std::string> unknown;
+  for (const auto& [k, v] : cfg.all())
+    if (known.count(k) == 0) unknown.push_back(k);
+  return unknown;
+}
+
+}  // namespace mantle::cluster

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "common/config.hpp"
+
+/// \file config_bridge.hpp
+/// Maps the string-keyed Config registry (the `ceph.conf` / `injectargs`
+/// surface) onto the typed ClusterConfig. Key names follow the CephFS
+/// option vocabulary where one exists (`mds_bal_interval`,
+/// `mds_bal_split_size`, `mds_bal_fragment_bits`, `mds_bal_need_min`);
+/// simulator-only knobs use the `sim_` prefix.
+
+namespace mantle::cluster {
+
+/// Overlay every recognized key of `cfg` onto `base` and return the
+/// result. Unknown keys are ignored (callers can validate separately
+/// with unknown_config_keys()).
+ClusterConfig apply_config(ClusterConfig base, const mantle::Config& cfg);
+
+/// Keys in `cfg` that apply_config would not consume (likely typos).
+std::vector<std::string> unknown_config_keys(const mantle::Config& cfg);
+
+}  // namespace mantle::cluster

@@ -1,0 +1,71 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mantle {
+
+void Config::set_double(const std::string& key, double v) {
+  std::ostringstream os;
+  os << v;
+  values_[key] = os.str();
+}
+
+void Config::set_int(const std::string& key, long long v) {
+  values_[key] = std::to_string(v);
+}
+
+void Config::set_bool(const std::string& key, bool v) {
+  values_[key] = v ? "true" : "false";
+}
+
+std::string Config::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? def : v;
+}
+
+long long Config::get_int(const std::string& key, long long def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? def : v;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& s = it->second;
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  return def;
+}
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Config::inject_args(const std::string& args) {
+  std::istringstream is(args);
+  std::string tok;
+  int applied = 0;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    values_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace mantle

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+/// \file config.hpp
+/// String-keyed configuration registry. This is the moral equivalent of
+/// Ceph's config observer plus `ceph tell mds.N injectargs ...`: Mantle
+/// policies are injected at runtime by setting keys like
+/// `mds_bal_metaload` on a live cluster, and balancer tunables
+/// (`mds_bal_interval`, `mds_bal_need_min`, dirfrag split thresholds) live
+/// here too.
+
+namespace mantle {
+
+class Config {
+ public:
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+  void set_double(const std::string& key, double v);
+  void set_int(const std::string& key, long long v);
+  void set_bool(const std::string& key, bool v);
+
+  bool contains(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  /// String value, or `def` when unset.
+  std::string get(const std::string& key, const std::string& def = "") const;
+
+  /// Typed accessors; fall back to `def` when unset or unparsable.
+  double get_double(const std::string& key, double def) const;
+  long long get_int(const std::string& key, long long def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  std::optional<std::string> find(const std::string& key) const;
+
+  /// Parse a whitespace-separated "key=value key=value" injectargs string.
+  /// Returns the number of keys applied.
+  int inject_args(const std::string& args);
+
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mantle

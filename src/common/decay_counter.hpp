@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cmath>
+
+#include "common/time.hpp"
+
+/// \file decay_counter.hpp
+/// Exponentially-decayed load counter, modelled on Ceph's DecayCounter.
+/// CephFS tracks per-dirfrag popularity (inode reads/writes, readdirs,
+/// fetches, stores) with counters whose value halves every `half_life`
+/// seconds of inactivity, so "hot" is always relative to the recent past —
+/// this is the smoothing visible in the paper's Figure 1 heat map.
+
+namespace mantle {
+
+/// Decay rate shared by a family of counters (one per MDS in CephFS,
+/// mds_decay_halflife; default 5 seconds as in Ceph).
+class DecayRate {
+ public:
+  explicit DecayRate(double half_life_seconds = 5.0) noexcept
+      : k_(std::log(0.5) / half_life_seconds) {}
+
+  /// exp(k * dt): the multiplicative decay over dt seconds.
+  double decay_factor(double dt_seconds) const noexcept {
+    return std::exp(k_ * dt_seconds);
+  }
+
+  double half_life() const noexcept { return std::log(0.5) / k_; }
+
+ private:
+  double k_;  // negative
+};
+
+/// A single decayed counter. Values are folded in with hit() and read with
+/// get(); both take the current simulated time and lazily apply the decay
+/// accumulated since the last touch.
+class DecayCounter {
+ public:
+  DecayCounter() = default;
+
+  /// Current decayed value at time `now`.
+  double get(Time now, const DecayRate& rate) const noexcept {
+    decay_to(now, rate);
+    return value_;
+  }
+
+  /// Add `delta` (default one event) at time `now`.
+  void hit(Time now, const DecayRate& rate, double delta = 1.0) noexcept {
+    decay_to(now, rate);
+    value_ += delta;
+  }
+
+  /// Scale the counter (used when splitting a dirfrag: each child inherits
+  /// a proportional share of the parent's heat).
+  void scale(double f) noexcept { value_ *= f; }
+
+  /// Merge another counter that has already been decayed to the same time.
+  void merge(const DecayCounter& other) noexcept { value_ += other.value_; }
+
+  void reset(Time now) noexcept {
+    value_ = 0.0;
+    last_ = now;
+  }
+
+  /// Raw value without decay; only meaningful immediately after get()/hit().
+  double raw() const noexcept { return value_; }
+
+ private:
+  void decay_to(Time now, const DecayRate& rate) const noexcept {
+    if (now <= last_) return;  // never decay backwards in time
+    const double dt = to_seconds(now - last_);
+    value_ *= rate.decay_factor(dt);
+    if (value_ < 1e-9) value_ = 0.0;
+    last_ = now;
+  }
+
+  mutable double value_ = 0.0;
+  mutable Time last_ = 0;
+};
+
+}  // namespace mantle

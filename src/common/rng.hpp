@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Deterministic random number generation. Every scenario owns one Rng
+/// seeded explicitly; no global state, no std::random_device, so runs are
+/// reproducible across platforms (std::mt19937 distributions are not
+/// portable across standard libraries; these generators are).
+
+namespace mantle {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++: fast, high-quality, portable PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Gaussian with the given mean and standard deviation (Box–Muller).
+  double gaussian(double mean, double stddev) noexcept;
+
+  /// Exponential with the given mean (inter-arrival modelling).
+  double exponential(double mean) noexcept;
+
+  /// Derive an independent child generator (per client / per MDS streams).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace mantle

@@ -1,0 +1,20 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace mantle {
+
+std::string format_time(Time t) {
+  const std::uint64_t total_ms = t / kMsec;
+  const std::uint64_t minutes = total_ms / 60000;
+  const std::uint64_t seconds = (total_ms / 1000) % 60;
+  const std::uint64_t millis = total_ms % 1000;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu:%02llu.%03llu",
+                static_cast<unsigned long long>(minutes),
+                static_cast<unsigned long long>(seconds),
+                static_cast<unsigned long long>(millis));
+  return buf;
+}
+
+}  // namespace mantle

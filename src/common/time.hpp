@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file time.hpp
+/// Simulated-time primitives. The whole system runs on a deterministic
+/// discrete-event clock measured in integer microseconds, so two runs with
+/// the same seed produce bit-identical timelines.
+
+namespace mantle {
+
+/// Simulation timestamp / duration, in microseconds since scenario start.
+using Time = std::uint64_t;
+
+inline constexpr Time kUsec = 1;
+inline constexpr Time kMsec = 1000 * kUsec;
+inline constexpr Time kSec = 1000 * kMsec;
+inline constexpr Time kMinute = 60 * kSec;
+
+/// Convert a simulated timestamp to fractional seconds (for math and output).
+constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/// Convert fractional seconds to a simulated duration, rounding to the
+/// nearest microsecond. Negative inputs clamp to zero: durations in the
+/// simulator are never negative.
+constexpr Time from_seconds(double s) noexcept {
+  if (s <= 0.0) return 0;
+  return static_cast<Time>(s * static_cast<double>(kSec) + 0.5);
+}
+
+/// Render as "M:SS.mmm" for human-readable timelines.
+std::string format_time(Time t);
+
+}  // namespace mantle

@@ -1,0 +1,60 @@
+#include "common/timeline.hpp"
+
+#include <cstdio>
+
+namespace mantle {
+
+std::vector<double> Timeline::resample_rates(std::size_t n) const {
+  std::vector<double> out(n, 0.0);
+  if (n == 0 || buckets_.empty()) return out;
+  const double group = static_cast<double>(buckets_.size()) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lo = static_cast<std::size_t>(static_cast<double>(i) * group);
+    auto hi = static_cast<std::size_t>(static_cast<double>(i + 1) * group);
+    if (hi <= lo) hi = lo + 1;
+    if (hi > buckets_.size()) hi = buckets_.size();
+    double s = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) s += buckets_[j];
+    out[i] = s / (to_seconds(width_) * static_cast<double>(hi - lo));
+  }
+  return out;
+}
+
+std::string render_series_table(
+    const std::vector<std::pair<std::string, const Timeline*>>& series,
+    Time step) {
+  std::string out;
+  char buf[64];
+  std::size_t max_len = 0;
+  for (const auto& [name, tl] : series) {
+    (void)name;
+    max_len = std::max(max_len, tl->size() * static_cast<std::size_t>(tl->bucket_width()));
+  }
+  out += "time     ";
+  for (const auto& [name, tl] : series) {
+    (void)tl;
+    std::snprintf(buf, sizeof(buf), " %12s", name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (Time t = 0; t < max_len; t += step) {
+    out += format_time(t);
+    out += "  ";
+    for (const auto& [name, tl] : series) {
+      (void)name;
+      // average rate across the [t, t+step) window
+      double sum = 0.0;
+      std::size_t cnt = 0;
+      for (Time u = t; u < t + step; u += tl->bucket_width()) {
+        sum += tl->rate(u / tl->bucket_width());
+        ++cnt;
+      }
+      std::snprintf(buf, sizeof(buf), " %12.1f", cnt ? sum / static_cast<double>(cnt) : 0.0);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mantle

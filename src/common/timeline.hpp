@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+/// \file timeline.hpp
+/// Fixed-interval time series used by the figure harnesses: per-MDS
+/// throughput curves (Figures 4, 7, 10) are series of requests-per-second
+/// sampled on a shared grid so curves can be stacked and compared.
+
+namespace mantle {
+
+/// Accumulates events into fixed-width buckets; value(i) is the event count
+/// (or summed weight) in bucket i.
+class Timeline {
+ public:
+  explicit Timeline(Time bucket_width = kSec) : width_(bucket_width) {}
+
+  void record(Time t, double weight = 1.0) {
+    const std::size_t idx = static_cast<std::size_t>(t / width_);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+    buckets_[idx] += weight;
+  }
+
+  Time bucket_width() const noexcept { return width_; }
+  std::size_t size() const noexcept { return buckets_.size(); }
+
+  double value(std::size_t i) const noexcept {
+    return i < buckets_.size() ? buckets_[i] : 0.0;
+  }
+
+  /// Events per second in bucket i.
+  double rate(std::size_t i) const noexcept {
+    return value(i) / to_seconds(width_);
+  }
+
+  /// Sum over all buckets.
+  double total() const noexcept {
+    double s = 0.0;
+    for (double b : buckets_) s += b;
+    return s;
+  }
+
+  /// Downsample to `n` coarse points (for compact terminal plots).
+  std::vector<double> resample_rates(std::size_t n) const;
+
+ private:
+  Time width_;
+  std::vector<double> buckets_;
+};
+
+/// Render a set of named series as an ASCII table, one row per bucket —
+/// the textual equivalent of the paper's stacked throughput plots.
+std::string render_series_table(
+    const std::vector<std::pair<std::string, const Timeline*>>& series,
+    Time step);
+
+}  // namespace mantle

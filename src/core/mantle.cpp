@@ -1,0 +1,486 @@
+#include "core/mantle.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace mantle::core {
+
+using cluster::ClusterView;
+using cluster::HeartbeatPayload;
+using cluster::PopSnapshot;
+using lua::Value;
+
+namespace {
+
+/// Is `src` usable as a bare expression (`return (src)` parses)?
+bool is_expression(const std::string& src) {
+  return lua::check_syntax("return (" + src + ")").empty();
+}
+
+/// Does the hook end with a dangling `then` (Table 1's "when" style)?
+bool ends_with_then(const std::string& src) {
+  // Strip trailing whitespace and line comments, then look for the token.
+  std::string s;
+  s.reserve(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '-' && i + 1 < src.size() && src[i + 1] == '-') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      if (i < src.size()) s += '\n';
+      continue;
+    }
+    s += src[i];
+  }
+  std::size_t end = s.find_last_not_of(" \t\r\n");
+  if (end == std::string::npos || end + 1 < 4) return false;
+  return s.compare(end - 3, 4, "then") == 0 &&
+         (end == 3 || !std::isalnum(static_cast<unsigned char>(s[end - 4])));
+}
+
+lua::TablePtr hb_to_table(const HeartbeatPayload& hb, double load) {
+  auto t = lua::make_table();
+  t->set(Value("auth"), Value(hb.auth_metaload));
+  t->set(Value("all"), Value(hb.all_metaload));
+  t->set(Value("cpu"), Value(hb.cpu_pct));
+  t->set(Value("mem"), Value(hb.mem_pct));
+  t->set(Value("q"), Value(hb.queue_len));
+  t->set(Value("req"), Value(hb.req_rate));
+  t->set(Value("load"), Value(load));
+  return t;
+}
+
+}  // namespace
+
+namespace {
+
+/// Serialize a scalar state value for the durable backend. Only scalar
+/// state round-trips (tables would need a real codec); policies that
+/// need more keep it in Lua globals, which live as long as the VM.
+std::string encode_state(const Value& v) {
+  if (v.is_number()) return "n:" + v.to_display_string();
+  if (v.is_bool()) return std::string("b:") + (v.boolean() ? "1" : "0");
+  if (v.is_string()) return "s:" + v.str();
+  return "x:";
+}
+
+Value decode_state(const std::string& s) {
+  if (s.size() < 2 || s[1] != ':') return Value(0.0);
+  const std::string payload = s.substr(2);
+  switch (s[0]) {
+    case 'n': return Value(std::strtod(payload.c_str(), nullptr));
+    case 'b': return Value(payload == "1");
+    case 's': return Value(payload);
+    default: return Value{};
+  }
+}
+
+}  // namespace
+
+MantleBalancer::MantleBalancer(MantlePolicy policy, Options opt)
+    : policy_(std::move(policy)), opt_(opt), state_(0.0) {
+  lua_.set_budget(opt_.budget);
+  lua_.seed_random(opt_.lua_seed);
+  if (opt_.state_store != nullptr && !opt_.state_oid.empty()) {
+    // Recover durable state left by a previous incarnation.
+    std::string raw;
+    if (opt_.state_store->read(opt_.state_oid, &raw).ok)
+      state_ = decode_state(raw);
+  }
+  bind_state_functions();
+}
+
+void MantleBalancer::bind_state_functions() {
+  // WRstate/RDstate persist decisions across balancer invocations
+  // (paper §3.1). In-memory by default; with Options::state_store set,
+  // every write also lands in the object store (the paper's "store them
+  // in RADOS objects to improve scalability" follow-up). Both
+  // capitalizations from the paper are accepted.
+  auto wr = [this](std::vector<Value>& args, lua::Interp&) {
+    state_ = args.empty() ? Value(0.0) : args[0];
+    if (opt_.state_store != nullptr && !opt_.state_oid.empty())
+      opt_.state_store->write_full(opt_.state_oid, encode_state(state_));
+    return std::vector<Value>{};
+  };
+  auto rd = [this](std::vector<Value>&, lua::Interp&) {
+    return std::vector<Value>{state_};
+  };
+  lua_.set_function("WRstate", wr);
+  lua_.set_function("WRState", wr);
+  lua_.set_function("RDstate", rd);
+  lua_.set_function("RDState", rd);
+}
+
+double MantleBalancer::eval_load_hook(const std::string& script,
+                                      const char* result_global) const {
+  if (script.empty()) return 0.0;
+  lua::RunResult r;
+  if (is_expression(script)) {
+    r = lua_.eval(script, result_global);
+  } else {
+    r = lua_.run(script, result_global);
+    if (r.ok) r.values = {lua_.get_global(result_global)};
+  }
+  if (!r.ok) {
+    ++hook_errors_;
+    last_error_ = r.error;
+    MANTLE_LOG_WARN("mantle %s hook failed: %s", result_global,
+                    r.error.c_str());
+    return 0.0;
+  }
+  const Value v = r.first();
+  return v.to_number().value_or(0.0);
+}
+
+double MantleBalancer::metaload(const PopSnapshot& pop) const {
+  lua_.set_global("IRD", Value(pop.ird));
+  lua_.set_global("IWR", Value(pop.iwr));
+  lua_.set_global("READDIR", Value(pop.readdir));
+  lua_.set_global("FETCH", Value(pop.fetch));
+  lua_.set_global("STORE", Value(pop.store));
+  return eval_load_hook(policy_.metaload, "metaload");
+}
+
+double MantleBalancer::mdsload(const HeartbeatPayload& hb) const {
+  // The hook is an expression over MDSs[i]; bind a table holding the
+  // entry being scored at its 1-based index.
+  auto mdss = lua::make_table();
+  const double idx = static_cast<double>(hb.rank + 1);
+  mdss->set(Value(idx), Value(hb_to_table(hb, 0.0)));
+  lua_.set_global("MDSs", Value(mdss));
+  lua_.set_global("i", Value(idx));
+  return eval_load_hook(policy_.mdsload, "mdsload");
+}
+
+void MantleBalancer::bind_view(const ClusterView& view) {
+  auto mdss = lua::make_table();
+  auto targets = lua::make_table();
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    const double idx = static_cast<double>(i + 1);
+    mdss->set(Value(idx), Value(hb_to_table(view.mdss[i], view.loads[i])));
+    targets->set(Value(idx), Value(0.0));
+  }
+  lua_.set_global("MDSs", Value(mdss));
+  lua_.set_global("targets", Value(targets));
+  lua_.set_global("whoami", Value(static_cast<double>(view.whoami + 1)));
+  lua_.set_global("total", Value(view.total_load));
+  const HeartbeatPayload& me = view.mdss[static_cast<std::size_t>(view.whoami)];
+  lua_.set_global("authmetaload", Value(me.auth_metaload));
+  lua_.set_global("allmetaload", Value(me.all_metaload));
+}
+
+bool MantleBalancer::when(const ClusterView& view) {
+  pending_targets_.assign(view.size(), 0.0);
+  when_filled_targets_ = false;
+  if (policy_.when.empty()) return false;
+
+  bind_view(view);
+  lua_.set_global("go", Value{});
+
+  lua::RunResult r;
+  bool explicit_result = false;
+  bool result = false;
+  if (ends_with_then(policy_.when)) {
+    // Table 1 style: "if <cond> then" — complete the statement so truth
+    // of the condition is observable.
+    lua_.set_global("__go", Value(0.0));
+    r = lua_.run(policy_.when + "\n__go = 1 end", "when");
+    if (r.ok) {
+      explicit_result = true;
+      result = lua_.get_global("__go").to_number().value_or(0.0) == 1.0;
+    }
+  } else {
+    r = lua_.run(policy_.when, "when");
+    if (r.ok) {
+      if (!r.values.empty() && r.values[0].is_bool()) {
+        explicit_result = true;
+        result = r.values[0].boolean();
+      } else {
+        const Value go = lua_.get_global("go");
+        if (go.is_number()) {
+          explicit_result = true;
+          result = go.number() == 1.0;
+        }
+      }
+    }
+  }
+  if (!r.ok) {
+    ++hook_errors_;
+    last_error_ = r.error;
+    MANTLE_LOG_WARN("mantle when hook failed: %s", r.error.c_str());
+    return false;
+  }
+
+  // A combined hook may have filled targets directly (Listings 1-2 style).
+  const Value targets = lua_.get_global("targets");
+  if (targets.is_table()) {
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      const Value v = targets.table()->get(Value(static_cast<double>(i + 1)));
+      const double x = v.to_number().value_or(0.0);
+      pending_targets_[i] = x;
+      if (x > 0.0) when_filled_targets_ = true;
+    }
+  }
+  return explicit_result ? result : when_filled_targets_;
+}
+
+std::vector<double> MantleBalancer::where(const ClusterView& view) {
+  if (policy_.where.empty()) {
+    // Combined when+where policy: reuse what the when hook computed.
+    return pending_targets_;
+  }
+  bind_view(view);
+  lua::RunResult r = lua_.run(policy_.where, "where");
+  std::vector<double> out(view.size(), 0.0);
+  if (!r.ok) {
+    ++hook_errors_;
+    last_error_ = r.error;
+    MANTLE_LOG_WARN("mantle where hook failed: %s", r.error.c_str());
+    return out;
+  }
+  const Value targets = lua_.get_global("targets");
+  if (targets.is_table()) {
+    for (std::size_t i = 0; i < view.size(); ++i)
+      out[i] = targets.table()
+                   ->get(Value(static_cast<double>(i + 1)))
+                   .to_number()
+                   .value_or(0.0);
+  }
+  return out;
+}
+
+std::vector<std::string> MantleBalancer::howmuch() const {
+  if (policy_.howmuch.empty()) return {"big_first"};
+  lua::RunResult r = lua_.eval(policy_.howmuch, "howmuch");
+  if (!r.ok || !r.first().is_table()) {
+    if (!r.ok) {
+      ++hook_errors_;
+      last_error_ = r.error;
+    }
+    return {"big_first"};
+  }
+  std::vector<std::string> out;
+  const lua::TablePtr t = r.first().table();
+  const double len = t->length();
+  for (double i = 1.0; i <= len; i += 1.0) {
+    const Value v = t->get(Value(i));
+    if (v.is_string()) out.push_back(v.str());
+  }
+  return out.empty() ? std::vector<std::string>{"big_first"} : out;
+}
+
+std::string MantleBalancer::inject(const std::string& key,
+                                   const std::string& script) {
+  MantlePolicy candidate = policy_;
+  if (key == "mds_bal_metaload") candidate.metaload = script;
+  else if (key == "mds_bal_mdsload") candidate.mdsload = script;
+  else if (key == "mds_bal_when") candidate.when = script;
+  else if (key == "mds_bal_where") candidate.where = script;
+  else if (key == "mds_bal_howmuch") candidate.howmuch = script;
+  else return "unknown policy key: " + key;
+
+  const std::string err = validate_policy(candidate, opt_.budget);
+  if (!err.empty()) return err;
+  policy_ = std::move(candidate);
+  return "";
+}
+
+std::string validate_policy(const MantlePolicy& policy, std::uint64_t budget) {
+  // 1. Syntax: every hook must at least parse in its evaluation form.
+  auto check_hook = [&](const char* name, const std::string& src,
+                        bool allow_then) -> std::string {
+    if (src.empty()) return "";
+    if (is_expression(src)) return "";
+    std::string body = src;
+    if (allow_then && ends_with_then(src)) body += " __go = 1 end";
+    const std::string err = lua::check_syntax(body, name);
+    if (!err.empty()) return std::string(name) + ": " + err;
+    return "";
+  };
+  for (const auto& [name, src, allow_then] :
+       {std::tuple<const char*, const std::string&, bool>{"mds_bal_metaload", policy.metaload, false},
+        {"mds_bal_mdsload", policy.mdsload, false},
+        {"mds_bal_when", policy.when, true},
+        {"mds_bal_where", policy.where, false},
+        {"mds_bal_howmuch", policy.howmuch, false}}) {
+    const std::string err = check_hook(name, src, allow_then);
+    if (!err.empty()) return err;
+  }
+
+  // 2. Dry run against a synthetic 3-MDS view with a finite budget: this
+  // is the "simulator that checks the logic before injecting policies"
+  // from §4.4 — `while 1 do end` fails here, not on the live MDS.
+  // Expected-failure probes should not spam the log.
+  struct LogSilencer {
+    LogLevel prev = Log::level();
+    LogSilencer() { Log::set_level(LogLevel::Error); }
+    ~LogSilencer() { Log::set_level(prev); }
+  } silence;
+  MantleBalancer::Options opt;
+  opt.budget = budget;
+  MantleBalancer probe(policy, opt);
+
+  PopSnapshot pop{10.0, 20.0, 5.0, 2.0, 1.0};
+  probe.metaload(pop);
+
+  ClusterView view;
+  view.whoami = 0;
+  view.now = mantle::kSec;
+  view.mdss.resize(3);
+  for (int i = 0; i < 3; ++i) {
+    HeartbeatPayload& hb = view.mdss[static_cast<std::size_t>(i)];
+    hb.rank = i;
+    hb.auth_metaload = i == 0 ? 100.0 : 0.0;
+    hb.all_metaload = i == 0 ? 120.0 : 0.0;
+    hb.cpu_pct = i == 0 ? 90.0 : 5.0;
+    hb.mem_pct = 10.0;
+    hb.queue_len = i == 0 ? 12.0 : 0.0;
+    hb.req_rate = i == 0 ? 4000.0 : 0.0;
+  }
+  view.loads.resize(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    view.loads[i] = probe.mdsload(view.mdss[i]);
+  view.total_load = view.loads[0] + view.loads[1] + view.loads[2];
+
+  // Exercise when/where from each rank's perspective, twice (stateful
+  // policies like Fill & Spill take several iterations to act).
+  for (int round = 0; round < 4; ++round) {
+    for (int who = 0; who < 3; ++who) {
+      view.whoami = who;
+      if (probe.when(view)) probe.where(view);
+    }
+  }
+  probe.howmuch();
+
+  if (probe.hook_errors() > 0) return probe.last_error();
+  return "";
+}
+
+// ===========================================================================
+// The paper's policies as Mantle scripts
+// ===========================================================================
+
+namespace scripts {
+
+MantlePolicy original() {
+  MantlePolicy p;
+  p.metaload = "IRD + 2*IWR + READDIR + 2*FETCH + 4*STORE";
+  p.mdsload =
+      "0.8*MDSs[i][\"auth\"] + 0.2*MDSs[i][\"all\"]"
+      " + MDSs[i][\"req\"] + 10*MDSs[i][\"q\"]";
+  p.when = "if MDSs[whoami][\"load\"] > total/#MDSs then";
+  p.where = R"lua(
+-- Partition the cluster into importers/exporters around the mean and send
+-- my excess toward each importer's deficit (the ~20-line original "where").
+avg = total/#MDSs
+myload = MDSs[whoami]["load"]
+excess = myload - avg
+deficit = 0
+for i=1,#MDSs do
+  if i ~= whoami and MDSs[i]["load"] < avg then
+    deficit = deficit + (avg - MDSs[i]["load"])
+  end
+end
+if excess > 0 and deficit > 0 then
+  for i=1,#MDSs do
+    if i ~= whoami and MDSs[i]["load"] < avg then
+      targets[i] = excess * (avg - MDSs[i]["load"]) / deficit
+    end
+  end
+end
+)lua";
+  p.howmuch = "{\"big_first\"}";
+  return p;
+}
+
+MantlePolicy greedy_spill() {
+  MantlePolicy p;
+  // Listing 1, with an explicit existence guard on the right neighbour
+  // (in the paper the bare nil index simply errors on the last MDS, which
+  // Mantle treats as "no migration"; the guard keeps the log clean).
+  p.metaload = "IWR";
+  p.mdsload = "MDSs[i][\"all\"]";
+  p.when = R"lua(
+-- When policy
+if MDSs[whoami+1] ~= nil and MDSs[whoami]["load"]>.01 and
+   MDSs[whoami+1]["load"]<.01 then
+-- Where policy
+targets[whoami+1]=allmetaload/2
+end
+)lua";
+  p.howmuch = "{\"half\"}";
+  return p;
+}
+
+MantlePolicy greedy_spill_even() {
+  MantlePolicy p;
+  p.metaload = "IWR";
+  p.mdsload = "MDSs[i][\"all\"]";
+  // Listing 2 with the walk-down loop's comparison as described in the
+  // text (walk past loaded nodes toward an empty one); see EXPERIMENTS.md.
+  p.when = R"lua(
+t=((#MDSs-whoami+1)/2)+whoami
+if t ~= math.floor(t) then t=whoami end
+if t>#MDSs then t=whoami end
+while t~=whoami and MDSs[t]["load"]>=.01 do t=t-1 end
+if t~=whoami and MDSs[whoami]["load"]>.01 and MDSs[t]["load"]<.01 then
+  targets[t]=MDSs[whoami]["load"]/2
+end
+)lua";
+  p.howmuch = "{\"half\"}";
+  return p;
+}
+
+MantlePolicy fill_and_spill(double cpu_threshold, double spill_fraction) {
+  MantlePolicy p;
+  p.metaload = "IRD + IWR";
+  p.mdsload = "MDSs[i][\"all\"]";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), R"lua(
+-- When policy (Listing 3)
+wait=RDState(); go = 0;
+if MDSs[whoami]["cpu"]>%g then
+  if wait>0 then WRState(wait-1)
+  else WRState(2); go=1; end
+else WRState(2) end
+if go==1 and MDSs[whoami+1] ~= nil then
+-- Where policy
+targets[whoami+1] = MDSs[whoami]["load"]*%g
+end
+)lua",
+                cpu_threshold, spill_fraction);
+  p.when = buf;
+  p.howmuch = "{\"small_first\"}";
+  return p;
+}
+
+MantlePolicy adaptable() {
+  MantlePolicy p;
+  // Listing 4. As printed the listing assigns `max=0`, which shadows the
+  // env function max() and would fault on the next line in real Lua; the
+  // accumulator is renamed `m` here.
+  p.metaload = "IWR + IRD";
+  p.mdsload = "MDSs[i][\"all\"]";
+  p.when = R"lua(
+m=0
+for i=1,#MDSs do
+  m = max(MDSs[i]["load"], m)
+end
+myLoad = MDSs[whoami]["load"]
+if myLoad>total/2 and myLoad>=m then
+  targetLoad=total/#MDSs
+  for i=1,#MDSs do
+    if i~=whoami and MDSs[i]["load"]<targetLoad then
+      targets[i]=targetLoad-MDSs[i]["load"]
+    end
+  end
+end
+)lua";
+  p.howmuch = "{\"half\",\"small\",\"big\",\"big_small\"}";
+  return p;
+}
+
+}  // namespace scripts
+
+}  // namespace mantle::core

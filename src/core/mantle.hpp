@@ -1,0 +1,122 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/balancer.hpp"
+#include "lua/interp.hpp"
+#include "store/object_store.hpp"
+
+/// \file mantle.hpp
+/// Mantle: the programmable metadata balancer. A MantleBalancer is a
+/// cluster::Balancer whose five decisions are made by injected Lua code
+/// running in the environment of the paper's Table 2:
+///
+///   globals while evaluating hooks
+///     whoami                      current MDS (1-based, as in the paper)
+///     MDSs[i]["auth"|"all"|"cpu"|"mem"|"q"|"req"|"load"]
+///     total                       sum of MDSs[i]["load"]
+///     authmetaload, allmetaload   current MDS's metadata loads
+///     IRD, IWR, READDIR, FETCH, STORE   (metaload hook only)
+///     i                           index being scored (mdsload hook only)
+///     targets[i]                  output of the where hook
+///     WRstate(s) / RDstate()      persistent per-balancer state
+///     max(a,b), min(a,b)
+///
+///   hooks (injected via config keys, as `ceph tell mds.N injectargs ...`)
+///     mds_bal_metaload   expression or chunk assigning `metaload`
+///     mds_bal_mdsload    expression over MDSs[i] or chunk assigning `mdsload`
+///     mds_bal_when       condition; three accepted forms (see below)
+///     mds_bal_where      chunk filling `targets`
+///     mds_bal_howmuch    expression: list of dirfrag selector names
+///
+/// The `when` hook accepts (a) an `if <cond> then` fragment, exactly as
+/// printed in the paper's Table 1 ("when: if my load > ... then"); (b) a
+/// chunk that sets the global `go` to 1 (Listing 3 style); or (c) a chunk
+/// whose last statement is `return <bool>`. A `when` chunk may also fill
+/// `targets` directly (Listings 1-3 inline their where policy); if it
+/// does and no separate `where` hook is set, those targets are used.
+
+namespace mantle::core {
+
+/// The five injectable policies.
+struct MantlePolicy {
+  std::string metaload;
+  std::string mdsload;
+  std::string when;
+  std::string where;
+  std::string howmuch;  // e.g. {"big_first"} or {"half","small","big_small"}
+};
+
+/// Pre-canned policies replicating the paper's listings (runnable through
+/// the real interpreter; the native C++ twins live in balancers/builtin).
+namespace scripts {
+MantlePolicy original();           // Table 1
+MantlePolicy greedy_spill();       // Listing 1
+MantlePolicy greedy_spill_even();  // Listing 2 (see EXPERIMENTS.md note)
+MantlePolicy fill_and_spill(double cpu_threshold = 48.0,
+                            double spill_fraction = 0.25);  // Listing 3
+MantlePolicy adaptable();          // Listing 4
+}  // namespace scripts
+
+class MantleBalancer final : public cluster::Balancer {
+ public:
+  struct Options {
+    std::uint64_t budget = 1 << 20;  // interpreter steps per hook call
+    std::uint64_t lua_seed = 0;      // for math.random in policies
+    /// Optional durable backing for WRstate/RDstate. The paper kept the
+    /// state in temporary files and lists "store them in RADOS objects"
+    /// as future work; wiring an ObjectStore here does exactly that —
+    /// state survives balancer reconstruction (e.g. an MDS restart).
+    store::ObjectStore* state_store = nullptr;
+    std::string state_oid;  // object name, e.g. "mantle.state.mds0"
+  };
+
+  MantleBalancer(MantlePolicy policy, Options opt);
+  explicit MantleBalancer(MantlePolicy policy)
+      : MantleBalancer(std::move(policy), Options{}) {}
+
+  std::string name() const override { return "mantle"; }
+
+  double metaload(const cluster::PopSnapshot& pop) const override;
+  double mdsload(const cluster::HeartbeatPayload& hb) const override;
+  bool when(const cluster::ClusterView& view) override;
+  std::vector<double> where(const cluster::ClusterView& view) override;
+  std::vector<std::string> howmuch() const override;
+
+  /// Replace one hook at runtime (the `injectargs` path). Returns the
+  /// validation error, or empty on success.
+  std::string inject(const std::string& key, const std::string& script);
+
+  const MantlePolicy& policy() const { return policy_; }
+
+  /// Number of hook evaluations that failed (bad policies never take the
+  /// MDS down; they just skip that tick and are counted here).
+  std::uint64_t hook_errors() const { return hook_errors_; }
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  void bind_view(const cluster::ClusterView& view);
+  void bind_state_functions();
+  double eval_load_hook(const std::string& script, const char* result_global) const;
+
+  MantlePolicy policy_;
+  Options opt_;
+  mutable lua::Interp lua_;
+  mutable std::uint64_t hook_errors_ = 0;
+  mutable std::string last_error_;
+  lua::Value state_;                     // WRstate/RDstate slot
+  std::vector<double> pending_targets_;  // filled by a combined when-hook
+  bool when_filled_targets_ = false;
+};
+
+/// Validate a policy before injecting it into a live cluster: parse every
+/// hook and dry-run it against a synthetic two-MDS view with an
+/// instruction budget, so `while 1 do end` is rejected instead of taking
+/// the MDS down (the paper's "Analyzing Security and Safety" item).
+/// Returns "" on success or a description of the first problem.
+std::string validate_policy(const MantlePolicy& policy,
+                            std::uint64_t budget = 1 << 20);
+
+}  // namespace mantle::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file ast.hpp
+/// Syntax tree for luam. One tagged-union node type per syntactic class
+/// (expression / statement) keeps the tree-walking interpreter compact;
+/// nodes carry source lines for error reporting.
+
+namespace mantle::lua {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block {
+  std::vector<StmtPtr> stmts;
+};
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod, Pow, Concat,
+  Eq, Ne, Lt, Le, Gt, Ge, And, Or,
+};
+
+enum class UnOp { Neg, Not, Len };
+
+struct FunctionDef {
+  std::string name;  // for diagnostics; "<anonymous>" when unnamed
+  std::vector<std::string> params;
+  bool is_vararg = false;
+  Block body;
+  int line = 0;
+};
+
+struct Expr {
+  enum class Kind {
+    Nil, True, False, Number, String, Vararg,
+    Name,      // str = identifier
+    Index,     // a[b]  (a.b desugars to a["b"])
+    Call,      // a = callee, list = args
+    Method,    // a = object, str = method name, list = args
+    Function,  // fn
+    Table,     // list = positional items, fields = keyed items
+    Binary,    // bop, a, b
+    Unary,     // uop, a
+  };
+
+  Kind kind;
+  int line = 0;
+  double number = 0.0;
+  std::string str;
+  ExprPtr a;
+  ExprPtr b;
+  std::vector<ExprPtr> list;
+  std::vector<std::pair<ExprPtr, ExprPtr>> fields;  // key expr -> value expr
+  BinOp bop = BinOp::Add;
+  UnOp uop = UnOp::Neg;
+  std::shared_ptr<FunctionDef> fn;
+};
+
+struct Stmt {
+  enum class Kind {
+    ExprStat,   // rhs[0] is a call expression
+    Assign,     // lhs = rhs (lists)
+    Local,      // names = rhs
+    If,         // clauses + optional else_body
+    While,      // e1 cond, body
+    Repeat,     // body, e1 cond (until)
+    NumFor,     // names[0], e1 start, e2 stop, e3 step, body
+    GenFor,     // names, rhs explist, body
+    Do,         // body
+    Return,     // rhs explist
+    Break,
+  };
+
+  Kind kind;
+  int line = 0;
+  std::vector<ExprPtr> lhs;
+  std::vector<ExprPtr> rhs;
+  std::vector<std::string> names;
+  ExprPtr e1;
+  ExprPtr e2;
+  ExprPtr e3;
+  Block body;
+  std::vector<std::pair<ExprPtr, Block>> clauses;
+  std::optional<Block> else_body;
+};
+
+/// A parsed chunk. Shared ownership: closures created while running the
+/// chunk pin it alive via shared_ptr.
+struct Chunk {
+  std::string name;
+  Block block;
+};
+
+using ChunkPtr = std::shared_ptr<Chunk>;
+
+}  // namespace mantle::lua

@@ -1,0 +1,523 @@
+#include "lua/interp.hpp"
+
+#include <cmath>
+
+#include "lua/parser.hpp"
+
+namespace mantle::lua {
+
+Value* Scope::find(const std::string& name) {
+  for (Scope* s = this; s != nullptr; s = s->parent.get()) {
+    const auto it = s->vars.find(name);
+    if (it != s->vars.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+Interp::Interp() : globals_(make_table()) { install_stdlib(); }
+
+void Interp::runtime_error(int line, const std::string& msg) const {
+  throw LuaError(chunk_name_ + ":" + std::to_string(line) + ": " + msg);
+}
+
+void Interp::step(int line) {
+  ++steps_used_;
+  if (budget_ != 0 && steps_used_ > budget_)
+    runtime_error(line, "instruction budget exceeded (possible infinite loop)");
+}
+
+RunResult Interp::run(const std::string& src, const std::string& chunk_name) {
+  RunResult r;
+  chunk_name_ = chunk_name;
+  steps_used_ = 0;
+  try {
+    ChunkPtr chunk = parse(src, chunk_name);
+    chunks_.push_back(chunk);
+    auto scope = std::make_shared<Scope>();
+    ExecState st = exec_block(chunk->block, scope);
+    r.ok = true;
+    if (st.flow == Flow::Return) r.values = std::move(st.ret);
+  } catch (const LuaError& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+RunResult Interp::eval(const std::string& expr_src, const std::string& chunk_name) {
+  return run("return (" + expr_src + ")", chunk_name);
+}
+
+RunResult Interp::call(const Value& fn, std::vector<Value> args) {
+  RunResult r;
+  if (!fn.is_callable()) {
+    r.error = "attempt to call a " + std::string(fn.type_name()) + " value";
+    return r;
+  }
+  steps_used_ = 0;
+  try {
+    r.values = call_callable(fn.callable(), std::move(args));
+    r.ok = true;
+  } catch (const LuaError& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+void Interp::set_global(const std::string& name, Value v) {
+  globals_->set(Value(name), std::move(v));
+}
+
+Value Interp::get_global(const std::string& name) const {
+  return globals_->get(Value(name));
+}
+
+void Interp::set_function(const std::string& name, Callable::Builtin fn) {
+  set_global(name, Value(make_builtin(name, std::move(fn))));
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+Interp::ExecState Interp::exec_block(const Block& block,
+                                     const std::shared_ptr<Scope>& scope) {
+  for (const StmtPtr& s : block.stmts) {
+    ExecState st = exec_stmt(*s, scope);
+    if (st.flow != Flow::Normal) return st;
+  }
+  return {};
+}
+
+Interp::ExecState Interp::exec_stmt(const Stmt& s,
+                                    const std::shared_ptr<Scope>& scope) {
+  step(s.line);
+  switch (s.kind) {
+    case Stmt::Kind::ExprStat:
+      eval_multi(*s.rhs[0], scope);
+      return {};
+
+    case Stmt::Kind::Assign: {
+      std::vector<Value> vals = eval_exprlist(s.rhs, scope);
+      vals.resize(s.lhs.size());
+      for (std::size_t i = 0; i < s.lhs.size(); ++i)
+        assign(*s.lhs[i], std::move(vals[i]), scope);
+      return {};
+    }
+
+    case Stmt::Kind::Local: {
+      std::vector<Value> vals = eval_exprlist(s.rhs, scope);
+      vals.resize(s.names.size());
+      for (std::size_t i = 0; i < s.names.size(); ++i)
+        scope->vars[s.names[i]] = std::move(vals[i]);
+      return {};
+    }
+
+    case Stmt::Kind::If: {
+      for (const auto& [cond, body] : s.clauses) {
+        if (eval_expr(*cond, scope).truthy()) {
+          auto inner = std::make_shared<Scope>();
+          inner->parent = scope;
+          return exec_block(body, inner);
+        }
+      }
+      if (s.else_body) {
+        auto inner = std::make_shared<Scope>();
+        inner->parent = scope;
+        return exec_block(*s.else_body, inner);
+      }
+      return {};
+    }
+
+    case Stmt::Kind::While: {
+      while (eval_expr(*s.e1, scope).truthy()) {
+        step(s.line);
+        auto inner = std::make_shared<Scope>();
+        inner->parent = scope;
+        ExecState st = exec_block(s.body, inner);
+        if (st.flow == Flow::Break) break;
+        if (st.flow == Flow::Return) return st;
+      }
+      return {};
+    }
+
+    case Stmt::Kind::Repeat: {
+      for (;;) {
+        step(s.line);
+        auto inner = std::make_shared<Scope>();
+        inner->parent = scope;
+        ExecState st = exec_block(s.body, inner);
+        if (st.flow == Flow::Break) break;
+        if (st.flow == Flow::Return) return st;
+        // `until` sees locals declared in the body (Lua scoping rule).
+        if (eval_expr(*s.e1, inner).truthy()) break;
+      }
+      return {};
+    }
+
+    case Stmt::Kind::NumFor: {
+      const Value vstart = eval_expr(*s.e1, scope);
+      const Value vstop = eval_expr(*s.e2, scope);
+      Value vstep = s.e3 ? eval_expr(*s.e3, scope) : Value(1.0);
+      const auto start = vstart.to_number();
+      const auto stop = vstop.to_number();
+      const auto stepv = vstep.to_number();
+      if (!start || !stop || !stepv)
+        runtime_error(s.line, "'for' bounds must be numbers");
+      if (*stepv == 0.0) runtime_error(s.line, "'for' step is zero");
+      for (double i = *start;
+           (*stepv > 0.0) ? (i <= *stop) : (i >= *stop); i += *stepv) {
+        step(s.line);
+        auto inner = std::make_shared<Scope>();
+        inner->parent = scope;
+        inner->vars[s.names[0]] = Value(i);
+        ExecState st = exec_block(s.body, inner);
+        if (st.flow == Flow::Break) break;
+        if (st.flow == Flow::Return) return st;
+      }
+      return {};
+    }
+
+    case Stmt::Kind::GenFor: {
+      // for vars in f, s, ctrl do ... end
+      std::vector<Value> iter = eval_exprlist(s.rhs, scope);
+      iter.resize(3);
+      Value fn = iter[0];
+      Value state = iter[1];
+      Value control = iter[2];
+      if (!fn.is_callable())
+        runtime_error(s.line, "'for in' iterator is not callable");
+      for (;;) {
+        step(s.line);
+        std::vector<Value> args{state, control};
+        std::vector<Value> vals = call_callable(fn.callable(), std::move(args));
+        vals.resize(std::max(vals.size(), s.names.size()));
+        if (vals[0].is_nil()) break;
+        control = vals[0];
+        auto inner = std::make_shared<Scope>();
+        inner->parent = scope;
+        for (std::size_t i = 0; i < s.names.size(); ++i)
+          inner->vars[s.names[i]] = vals[i];
+        ExecState st = exec_block(s.body, inner);
+        if (st.flow == Flow::Break) break;
+        if (st.flow == Flow::Return) return st;
+      }
+      return {};
+    }
+
+    case Stmt::Kind::Do: {
+      auto inner = std::make_shared<Scope>();
+      inner->parent = scope;
+      return exec_block(s.body, inner);
+    }
+
+    case Stmt::Kind::Return: {
+      ExecState st;
+      st.flow = Flow::Return;
+      st.ret = eval_exprlist(s.rhs, scope);
+      return st;
+    }
+
+    case Stmt::Kind::Break: {
+      ExecState st;
+      st.flow = Flow::Break;
+      return st;
+    }
+  }
+  return {};
+}
+
+void Interp::assign(const Expr& target, Value v,
+                    const std::shared_ptr<Scope>& scope) {
+  if (target.kind == Expr::Kind::Name) {
+    if (Value* slot = scope->find(target.str)) {
+      *slot = std::move(v);
+    } else {
+      globals_->set(Value(target.str), std::move(v));
+    }
+    return;
+  }
+  // Index assignment: a[b] = v
+  Value obj = eval_expr(*target.a, scope);
+  if (!obj.is_table())
+    runtime_error(target.line, "attempt to index a " +
+                                   std::string(obj.type_name()) + " value");
+  Value key = eval_expr(*target.b, scope);
+  try {
+    obj.table()->set(key, std::move(v));
+  } catch (const LuaError& e) {
+    runtime_error(target.line, e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+std::vector<Value> Interp::eval_exprlist(const std::vector<ExprPtr>& list,
+                                         const std::shared_ptr<Scope>& scope) {
+  std::vector<Value> out;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i + 1 == list.size()) {
+      // Last expression expands all of its results.
+      std::vector<Value> vals = eval_multi(*list[i], scope);
+      for (Value& v : vals) out.push_back(std::move(v));
+    } else {
+      out.push_back(eval_expr(*list[i], scope));
+    }
+  }
+  return out;
+}
+
+std::vector<Value> Interp::eval_multi(const Expr& e,
+                                      const std::shared_ptr<Scope>& scope) {
+  if (e.kind == Expr::Kind::Call || e.kind == Expr::Kind::Method)
+    return eval_call(e, scope);
+  return {eval_expr(e, scope)};
+}
+
+Value Interp::eval_expr(const Expr& e, const std::shared_ptr<Scope>& scope) {
+  step(e.line);
+  switch (e.kind) {
+    case Expr::Kind::Nil: return {};
+    case Expr::Kind::True: return Value(true);
+    case Expr::Kind::False: return Value(false);
+    case Expr::Kind::Number: return Value(e.number);
+    case Expr::Kind::String: return Value(e.str);
+    case Expr::Kind::Vararg:
+      runtime_error(e.line, "'...' is not supported outside function calls");
+
+    case Expr::Kind::Name: {
+      if (Value* slot = scope->find(e.str)) return *slot;
+      return globals_->get(Value(e.str));
+    }
+
+    case Expr::Kind::Index: {
+      Value obj = eval_expr(*e.a, scope);
+      if (!obj.is_table())
+        runtime_error(e.line, "attempt to index a " +
+                                  std::string(obj.type_name()) + " value" +
+                                  (e.a->kind == Expr::Kind::Name
+                                       ? " (global '" + e.a->str + "')"
+                                       : ""));
+      Value key = eval_expr(*e.b, scope);
+      try {
+        return obj.table()->get(key);
+      } catch (const LuaError& err) {
+        runtime_error(e.line, err.what());
+      }
+    }
+
+    case Expr::Kind::Call:
+    case Expr::Kind::Method: {
+      std::vector<Value> vals = eval_call(e, scope);
+      return vals.empty() ? Value{} : std::move(vals.front());
+    }
+
+    case Expr::Kind::Function: {
+      auto c = std::make_shared<Callable>();
+      c->name = e.fn->name;
+      c->def = e.fn.get();
+      c->closure = scope;
+      c->owner = e.fn;  // pins the FunctionDef (and its body) alive
+      return Value(std::move(c));
+    }
+
+    case Expr::Kind::Table: return eval_table(e, scope);
+    case Expr::Kind::Binary: return eval_binary(e, scope);
+    case Expr::Kind::Unary: return eval_unary(e, scope);
+  }
+  return {};
+}
+
+Value Interp::eval_table(const Expr& e, const std::shared_ptr<Scope>& scope) {
+  TablePtr t = make_table();
+  double idx = 1.0;
+  for (std::size_t i = 0; i < e.list.size(); ++i) {
+    if (i + 1 == e.list.size()) {
+      // Trailing call expands into consecutive array slots.
+      std::vector<Value> vals = eval_multi(*e.list[i], scope);
+      for (Value& v : vals) t->set(Value(idx++), std::move(v));
+    } else {
+      t->set(Value(idx++), eval_expr(*e.list[i], scope));
+    }
+  }
+  for (const auto& [k, v] : e.fields) {
+    Value key = eval_expr(*k, scope);
+    try {
+      t->set(key, eval_expr(*v, scope));
+    } catch (const LuaError& err) {
+      runtime_error(e.line, err.what());
+    }
+  }
+  return Value(std::move(t));
+}
+
+double Interp::arith_operand(const Value& v, int line, const char* what) const {
+  const auto n = v.to_number();
+  if (!n)
+    runtime_error(line, std::string("attempt to perform arithmetic on a ") +
+                            v.type_name() + " value (" + what + ")");
+  return *n;
+}
+
+Value Interp::eval_binary(const Expr& e, const std::shared_ptr<Scope>& scope) {
+  // Short-circuit operators return one of their operand values, like Lua.
+  if (e.bop == BinOp::And) {
+    Value a = eval_expr(*e.a, scope);
+    return a.truthy() ? eval_expr(*e.b, scope) : a;
+  }
+  if (e.bop == BinOp::Or) {
+    Value a = eval_expr(*e.a, scope);
+    return a.truthy() ? a : eval_expr(*e.b, scope);
+  }
+
+  Value a = eval_expr(*e.a, scope);
+  Value b = eval_expr(*e.b, scope);
+
+  switch (e.bop) {
+    case BinOp::Add:
+      return Value(arith_operand(a, e.line, "left operand") +
+                   arith_operand(b, e.line, "right operand"));
+    case BinOp::Sub:
+      return Value(arith_operand(a, e.line, "left operand") -
+                   arith_operand(b, e.line, "right operand"));
+    case BinOp::Mul:
+      return Value(arith_operand(a, e.line, "left operand") *
+                   arith_operand(b, e.line, "right operand"));
+    case BinOp::Div:
+      return Value(arith_operand(a, e.line, "left operand") /
+                   arith_operand(b, e.line, "right operand"));
+    case BinOp::Mod: {
+      const double x = arith_operand(a, e.line, "left operand");
+      const double y = arith_operand(b, e.line, "right operand");
+      // Lua modulo: result has the sign of the divisor.
+      return Value(x - std::floor(x / y) * y);
+    }
+    case BinOp::Pow:
+      return Value(std::pow(arith_operand(a, e.line, "left operand"),
+                            arith_operand(b, e.line, "right operand")));
+    case BinOp::Concat: {
+      auto piece = [&](const Value& v) -> std::string {
+        if (v.is_string()) return v.str();
+        if (v.is_number()) return v.to_display_string();
+        runtime_error(e.line, std::string("attempt to concatenate a ") +
+                                  v.type_name() + " value");
+      };
+      return Value(piece(a) + piece(b));
+    }
+    case BinOp::Eq: return Value(a.equals(b));
+    case BinOp::Ne: return Value(!a.equals(b));
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      if (a.is_number() && b.is_number()) {
+        const double x = a.number();
+        const double y = b.number();
+        switch (e.bop) {
+          case BinOp::Lt: return Value(x < y);
+          case BinOp::Le: return Value(x <= y);
+          case BinOp::Gt: return Value(x > y);
+          default: return Value(x >= y);
+        }
+      }
+      if (a.is_string() && b.is_string()) {
+        const int c = a.str().compare(b.str());
+        switch (e.bop) {
+          case BinOp::Lt: return Value(c < 0);
+          case BinOp::Le: return Value(c <= 0);
+          case BinOp::Gt: return Value(c > 0);
+          default: return Value(c >= 0);
+        }
+      }
+      runtime_error(e.line, std::string("attempt to compare ") + a.type_name() +
+                                " with " + b.type_name());
+    }
+    default:
+      runtime_error(e.line, "internal: unexpected binary operator");
+  }
+}
+
+Value Interp::eval_unary(const Expr& e, const std::shared_ptr<Scope>& scope) {
+  Value a = eval_expr(*e.a, scope);
+  switch (e.uop) {
+    case UnOp::Neg: return Value(-arith_operand(a, e.line, "operand"));
+    case UnOp::Not: return Value(!a.truthy());
+    case UnOp::Len:
+      if (a.is_string()) return Value(static_cast<double>(a.str().size()));
+      if (a.is_table()) return Value(a.table()->length());
+      runtime_error(e.line, std::string("attempt to get length of a ") +
+                                a.type_name() + " value");
+  }
+  return {};
+}
+
+std::vector<Value> Interp::eval_call(const Expr& e,
+                                     const std::shared_ptr<Scope>& scope) {
+  Value fn;
+  std::vector<Value> args;
+  if (e.kind == Expr::Kind::Method) {
+    Value obj = eval_expr(*e.a, scope);
+    if (!obj.is_table())
+      runtime_error(e.line, "attempt to call method on a " +
+                                std::string(obj.type_name()) + " value");
+    fn = obj.table()->get(Value(e.str));
+    args.push_back(std::move(obj));
+  } else {
+    fn = eval_expr(*e.a, scope);
+  }
+  for (std::size_t i = 0; i < e.list.size(); ++i) {
+    if (i + 1 == e.list.size()) {
+      std::vector<Value> vals = eval_multi(*e.list[i], scope);
+      for (Value& v : vals) args.push_back(std::move(v));
+    } else {
+      args.push_back(eval_expr(*e.list[i], scope));
+    }
+  }
+  if (!fn.is_callable()) {
+    std::string hint;
+    if (e.kind == Expr::Kind::Call && e.a->kind == Expr::Kind::Name)
+      hint = " (global '" + e.a->str + "')";
+    runtime_error(e.line, "attempt to call a " + std::string(fn.type_name()) +
+                              " value" + hint);
+  }
+  try {
+    return call_callable(fn.callable(), std::move(args));
+  } catch (const LuaError&) {
+    throw;
+  }
+}
+
+std::vector<Value> Interp::call_callable(const CallablePtr& fn,
+                                         std::vector<Value> args) {
+  if (++call_depth_ > kMaxCallDepth) {
+    --call_depth_;
+    throw LuaError(chunk_name_ + ": call stack overflow in '" + fn->name + "'");
+  }
+  struct DepthGuard {
+    int& d;
+    ~DepthGuard() { --d; }
+  } guard{call_depth_};
+
+  if (fn->builtin) return fn->builtin(args, *this);
+
+  const FunctionDef& def = *fn->def;
+  auto scope = std::make_shared<Scope>();
+  scope->parent = fn->closure;
+  for (std::size_t i = 0; i < def.params.size(); ++i)
+    scope->vars[def.params[i]] = i < args.size() ? args[i] : Value{};
+  ExecState st = exec_block(def.body, scope);
+  if (st.flow == Flow::Return) return std::move(st.ret);
+  return {};
+}
+
+std::string check_syntax(const std::string& src, const std::string& chunk_name) {
+  try {
+    parse(src, chunk_name);
+    return "";
+  } catch (const LuaError& e) {
+    return e.what();
+  }
+}
+
+}  // namespace mantle::lua

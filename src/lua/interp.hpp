@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lua/ast.hpp"
+#include "lua/value.hpp"
+
+/// \file interp.hpp
+/// Tree-walking interpreter for luam. One Interp is one isolated "VM":
+/// the Mantle policy engine creates one per MDS so balancer state cannot
+/// leak between nodes. Execution is metered by an instruction budget —
+/// this is what makes the paper's future-work item ("check the logic
+/// before injecting policies"; a `while 1` must not take the MDS down)
+/// implementable: a dry run with a finite budget terminates.
+
+namespace mantle::lua {
+
+struct Scope {
+  std::unordered_map<std::string, Value> vars;
+  std::shared_ptr<Scope> parent;
+
+  /// Innermost binding of `name`, or nullptr if not a local.
+  Value* find(const std::string& name);
+};
+
+/// Outcome of loading/running a chunk.
+struct RunResult {
+  bool ok = false;
+  std::vector<Value> values;  // values from a top-level `return`
+  std::string error;
+
+  Value first() const { return values.empty() ? Value{} : values.front(); }
+};
+
+class Interp {
+ public:
+  Interp();
+
+  /// Parse + execute a chunk against the global environment. Errors
+  /// (syntax, runtime, budget exhaustion) are captured in the result —
+  /// they never escape as C++ exceptions, so a broken policy cannot
+  /// unwind the MDS.
+  RunResult run(const std::string& src, const std::string& chunk_name = "policy");
+
+  /// Evaluate a single expression and return its value.
+  RunResult eval(const std::string& expr_src, const std::string& chunk_name = "expr");
+
+  /// Call a Lua value that must be callable.
+  RunResult call(const Value& fn, std::vector<Value> args);
+
+  // -- Globals -------------------------------------------------------------
+  void set_global(const std::string& name, Value v);
+  Value get_global(const std::string& name) const;
+  const TablePtr& globals() const { return globals_; }
+
+  /// Convenience: register a C++ builtin function as a global.
+  void set_function(const std::string& name, Callable::Builtin fn);
+
+  // -- Budget --------------------------------------------------------------
+  /// Maximum number of interpreter steps per run()/eval()/call(); 0 means
+  /// unlimited. Each statement and expression node costs one step.
+  void set_budget(std::uint64_t steps) { budget_ = steps; }
+  std::uint64_t steps_used() const { return steps_used_; }
+
+  /// Seed for math.random (deterministic; default seed 0).
+  void seed_random(std::uint64_t seed) { rng_ = Rng(seed); }
+  Rng& rng() { return rng_; }
+
+  /// Output accumulated by print(); cleared on demand.
+  const std::string& output() const { return output_; }
+  void clear_output() { output_.clear(); }
+  void append_output(const std::string& s) { output_ += s; }
+
+  /// True while an error message should carry "<chunk>:<line>:" prefixes.
+  [[noreturn]] void runtime_error(int line, const std::string& msg) const;
+
+  // -- Internal execution (used by Callable dispatch) ------------------------
+  std::vector<Value> call_callable(const CallablePtr& fn, std::vector<Value> args);
+
+ private:
+  enum class Flow { Normal, Break, Return };
+
+  struct ExecState {
+    Flow flow = Flow::Normal;
+    std::vector<Value> ret;
+  };
+
+  void step(int line);
+
+  ExecState exec_block(const Block& block, const std::shared_ptr<Scope>& scope);
+  ExecState exec_stmt(const Stmt& s, const std::shared_ptr<Scope>& scope);
+
+  Value eval_expr(const Expr& e, const std::shared_ptr<Scope>& scope);
+  std::vector<Value> eval_multi(const Expr& e, const std::shared_ptr<Scope>& scope);
+  std::vector<Value> eval_exprlist(const std::vector<ExprPtr>& list,
+                                   const std::shared_ptr<Scope>& scope);
+
+  Value eval_binary(const Expr& e, const std::shared_ptr<Scope>& scope);
+  Value eval_unary(const Expr& e, const std::shared_ptr<Scope>& scope);
+  Value eval_table(const Expr& e, const std::shared_ptr<Scope>& scope);
+  std::vector<Value> eval_call(const Expr& e, const std::shared_ptr<Scope>& scope);
+
+  void assign(const Expr& target, Value v, const std::shared_ptr<Scope>& scope);
+
+  double arith_operand(const Value& v, int line, const char* side) const;
+
+  void install_stdlib();
+
+  TablePtr globals_;
+  std::vector<ChunkPtr> chunks_;  // keeps ASTs alive for registered closures
+  std::uint64_t budget_ = 0;
+  std::uint64_t steps_used_ = 0;
+  std::string chunk_name_;
+  std::string output_;
+  Rng rng_{0};
+  int call_depth_ = 0;
+  static constexpr int kMaxCallDepth = 200;
+};
+
+/// Syntax-check only (no execution). Returns empty string on success or the
+/// error message on failure.
+std::string check_syntax(const std::string& src, const std::string& chunk_name = "policy");
+
+}  // namespace mantle::lua

@@ -1,0 +1,325 @@
+#include "lua/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "lua/value.hpp"
+
+namespace mantle::lua {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "<eof>";
+    case Tok::Name: return "name";
+    case Tok::Number: return "number";
+    case Tok::String: return "string";
+    case Tok::And: return "and";
+    case Tok::Break: return "break";
+    case Tok::Do: return "do";
+    case Tok::Else: return "else";
+    case Tok::Elseif: return "elseif";
+    case Tok::End: return "end";
+    case Tok::False: return "false";
+    case Tok::For: return "for";
+    case Tok::Function: return "function";
+    case Tok::If: return "if";
+    case Tok::In: return "in";
+    case Tok::Local: return "local";
+    case Tok::Nil: return "nil";
+    case Tok::Not: return "not";
+    case Tok::Or: return "or";
+    case Tok::Repeat: return "repeat";
+    case Tok::Return: return "return";
+    case Tok::Then: return "then";
+    case Tok::True: return "true";
+    case Tok::Until: return "until";
+    case Tok::While: return "while";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Caret: return "^";
+    case Tok::Hash: return "#";
+    case Tok::Eq: return "==";
+    case Tok::Ne: return "~=";
+    case Tok::Le: return "<=";
+    case Tok::Ge: return ">=";
+    case Tok::Lt: return "<";
+    case Tok::Gt: return ">";
+    case Tok::Assign: return "=";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::LBracket: return "[";
+    case Tok::RBracket: return "]";
+    case Tok::Semi: return ";";
+    case Tok::Colon: return ":";
+    case Tok::Comma: return ",";
+    case Tok::Dot: return ".";
+    case Tok::Concat: return "..";
+    case Tok::Ellipsis: return "...";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"and", Tok::And},       {"break", Tok::Break},
+      {"do", Tok::Do},         {"else", Tok::Else},
+      {"elseif", Tok::Elseif}, {"end", Tok::End},
+      {"false", Tok::False},   {"for", Tok::For},
+      {"function", Tok::Function}, {"if", Tok::If},
+      {"in", Tok::In},         {"local", Tok::Local},
+      {"nil", Tok::Nil},       {"not", Tok::Not},
+      {"or", Tok::Or},         {"repeat", Tok::Repeat},
+      {"return", Tok::Return}, {"then", Tok::Then},
+      {"true", Tok::True},     {"until", Tok::Until},
+      {"while", Tok::While},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  Lexer(const std::string& src, std::string chunk)
+      : src_(src), chunk_(std::move(chunk)) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_space_and_comments();
+      Token t = next_token();
+      const bool eof = t.kind == Tok::Eof;
+      out.push_back(std::move(t));
+      if (eof) break;
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw LuaError(chunk_ + ":" + std::to_string(line_) + ": " + msg);
+  }
+
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+  bool match(char c) {
+    if (at_end() || src_[pos_] != c) return false;
+    advance();
+    return true;
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+      if (peek() == '-' && peek(1) == '-') {
+        advance();
+        advance();
+        if (peek() == '[' && peek(1) == '[') {
+          advance();
+          advance();
+          skip_long_bracket("comment");
+        } else {
+          while (!at_end() && peek() != '\n') advance();
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  void skip_long_bracket(const char* what) {
+    const int start_line = line_;
+    while (!at_end()) {
+      if (peek() == ']' && peek(1) == ']') {
+        advance();
+        advance();
+        return;
+      }
+      advance();
+    }
+    line_ = start_line;
+    fail(std::string("unterminated long ") + what);
+  }
+
+  Token make(Tok k) const {
+    Token t;
+    t.kind = k;
+    t.line = line_;
+    return t;
+  }
+
+  Token next_token() {
+    if (at_end()) return make(Tok::Eof);
+    const int line = line_;
+    const char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return name_or_keyword();
+    if (std::isdigit(static_cast<unsigned char>(c))) return number();
+    if (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) return number();
+    if (c == '"' || c == '\'') return string_literal();
+
+    advance();
+    Token t;
+    t.line = line;
+    switch (c) {
+      case '+': t.kind = Tok::Plus; return t;
+      case '-': t.kind = Tok::Minus; return t;
+      case '*': t.kind = Tok::Star; return t;
+      case '/': t.kind = Tok::Slash; return t;
+      case '%': t.kind = Tok::Percent; return t;
+      case '^': t.kind = Tok::Caret; return t;
+      case '#': t.kind = Tok::Hash; return t;
+      case '(': t.kind = Tok::LParen; return t;
+      case ')': t.kind = Tok::RParen; return t;
+      case '{': t.kind = Tok::LBrace; return t;
+      case '}': t.kind = Tok::RBrace; return t;
+      case '[': t.kind = Tok::LBracket; return t;
+      case ']': t.kind = Tok::RBracket; return t;
+      case ';': t.kind = Tok::Semi; return t;
+      case ':': t.kind = Tok::Colon; return t;
+      case ',': t.kind = Tok::Comma; return t;
+      case '=':
+        t.kind = match('=') ? Tok::Eq : Tok::Assign;
+        return t;
+      case '~':
+        if (match('=')) {
+          t.kind = Tok::Ne;
+          return t;
+        }
+        fail("unexpected '~' (did you mean '~='?)");
+      case '<':
+        t.kind = match('=') ? Tok::Le : Tok::Lt;
+        return t;
+      case '>':
+        t.kind = match('=') ? Tok::Ge : Tok::Gt;
+        return t;
+      case '.':
+        if (match('.')) {
+          t.kind = match('.') ? Tok::Ellipsis : Tok::Concat;
+        } else {
+          t.kind = Tok::Dot;
+        }
+        return t;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token name_or_keyword() {
+    Token t;
+    t.line = line_;
+    std::string s;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+      s += advance();
+    const auto it = keywords().find(s);
+    if (it != keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = Tok::Name;
+      t.text = std::move(s);
+    }
+    return t;
+  }
+
+  Token number() {
+    Token t;
+    t.line = line_;
+    t.kind = Tok::Number;
+    std::string s;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      s += advance();
+      s += advance();
+      while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) s += advance();
+      if (s.size() == 2) fail("malformed hex number");
+      t.number = static_cast<double>(std::strtoull(s.c_str() + 2, nullptr, 16));
+      t.text = std::move(s);
+      return t;
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) s += advance();
+    if (peek() == '.') {
+      s += advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) s += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      s += advance();
+      if (peek() == '+' || peek() == '-') s += advance();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("malformed number exponent");
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) s += advance();
+    }
+    char* end = nullptr;
+    t.number = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size()) fail("malformed number '" + s + "'");
+    t.text = std::move(s);
+    return t;
+  }
+
+  Token string_literal() {
+    Token t;
+    t.line = line_;
+    t.kind = Tok::String;
+    const char quote = advance();
+    std::string s;
+    for (;;) {
+      if (at_end() || peek() == '\n') fail("unterminated string");
+      const char c = advance();
+      if (c == quote) break;
+      if (c == '\\') {
+        if (at_end()) fail("unterminated string");
+        const char e = advance();
+        switch (e) {
+          case 'n': s += '\n'; break;
+          case 't': s += '\t'; break;
+          case 'r': s += '\r'; break;
+          case 'a': s += '\a'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'v': s += '\v'; break;
+          case '\\': s += '\\'; break;
+          case '"': s += '"'; break;
+          case '\'': s += '\''; break;
+          case '\n': s += '\n'; break;
+          default:
+            if (std::isdigit(static_cast<unsigned char>(e))) {
+              int code = e - '0';
+              for (int i = 0; i < 2 && std::isdigit(static_cast<unsigned char>(peek())); ++i)
+                code = code * 10 + (advance() - '0');
+              if (code > 255) fail("decimal escape too large");
+              s += static_cast<char>(code);
+            } else {
+              fail(std::string("invalid escape sequence '\\") + e + "'");
+            }
+        }
+        continue;
+      }
+      s += c;
+    }
+    t.text = std::move(s);
+    return t;
+  }
+
+  const std::string& src_;
+  std::string chunk_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src, const std::string& chunk_name) {
+  return Lexer(src, chunk_name).run();
+}
+
+}  // namespace mantle::lua

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file lexer.hpp
+/// Tokenizer for luam. Handles the full Lua 5.1 token set that the parser
+/// supports: names, keywords, numbers (decimal, fractional with leading
+/// dot, exponents, hex), short strings with escapes, line comments `--`
+/// and block comments `--[[ ... ]]`.
+
+namespace mantle::lua {
+
+enum class Tok {
+  // literals / atoms
+  Eof, Name, Number, String,
+  // keywords
+  And, Break, Do, Else, Elseif, End, False, For, Function, If, In, Local,
+  Nil, Not, Or, Repeat, Return, Then, True, Until, While,
+  // symbols
+  Plus, Minus, Star, Slash, Percent, Caret, Hash,
+  Eq, Ne, Le, Ge, Lt, Gt, Assign,
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Colon, Comma, Dot, Concat, Ellipsis,
+};
+
+const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;   // name / string payload / raw number text
+  double number = 0;  // value for Tok::Number
+  int line = 0;
+};
+
+/// Tokenize a chunk. Throws LuaError (with chunk name + line) on malformed
+/// input: unterminated strings/comments, bad escapes, bad numbers, stray
+/// characters.
+std::vector<Token> tokenize(const std::string& src, const std::string& chunk_name);
+
+}  // namespace mantle::lua

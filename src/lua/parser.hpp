@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "lua/ast.hpp"
+
+/// \file parser.hpp
+/// Recursive-descent parser for luam with Lua 5.1 operator precedence.
+/// parse() throws LuaError on syntax errors; the Mantle policy validator
+/// uses this to reject malformed balancers before they reach a live MDS.
+
+namespace mantle::lua {
+
+ChunkPtr parse(const std::string& src, const std::string& chunk_name);
+
+}  // namespace mantle::lua

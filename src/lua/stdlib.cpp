@@ -1,0 +1,465 @@
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "lua/interp.hpp"
+
+/// \file stdlib.cpp
+/// Built-in library for luam: the base functions plus `math`, `string`
+/// and `table` subsets. `max`/`min` are also installed as plain globals
+/// because the Mantle environment (paper Table 2) exposes them that way.
+
+namespace mantle::lua {
+
+namespace {
+
+Value arg_or_nil(const std::vector<Value>& args, std::size_t i) {
+  return i < args.size() ? args[i] : Value{};
+}
+
+double need_number(const std::vector<Value>& args, std::size_t i,
+                   const char* fname) {
+  const auto n = arg_or_nil(args, i).to_number();
+  if (!n)
+    throw LuaError(std::string("bad argument #") + std::to_string(i + 1) +
+                   " to '" + fname + "' (number expected, got " +
+                   arg_or_nil(args, i).type_name() + ")");
+  return *n;
+}
+
+std::string need_string(const std::vector<Value>& args, std::size_t i,
+                        const char* fname) {
+  const Value v = arg_or_nil(args, i);
+  if (v.is_string()) return v.str();
+  if (v.is_number()) return v.to_display_string();
+  throw LuaError(std::string("bad argument #") + std::to_string(i + 1) +
+                 " to '" + fname + "' (string expected, got " +
+                 std::string(v.type_name()) + ")");
+}
+
+TablePtr need_table(const std::vector<Value>& args, std::size_t i,
+                    const char* fname) {
+  const Value v = arg_or_nil(args, i);
+  if (!v.is_table())
+    throw LuaError(std::string("bad argument #") + std::to_string(i + 1) +
+                   " to '" + fname + "' (table expected, got " +
+                   std::string(v.type_name()) + ")");
+  return v.table();
+}
+
+/// Stateless `next` over a table: numeric keys in order, then string keys.
+std::vector<Value> table_next(const TablePtr& t, const Value& key) {
+  if (key.is_nil()) {
+    if (!t->num_keys.empty()) {
+      const auto it = t->num_keys.begin();
+      return {Value(it->first), it->second};
+    }
+    if (!t->str_keys.empty()) {
+      const auto it = t->str_keys.begin();
+      return {Value(it->first), it->second};
+    }
+    return {Value{}};
+  }
+  if (key.is_number()) {
+    auto it = t->num_keys.upper_bound(key.number());
+    if (it != t->num_keys.end()) return {Value(it->first), it->second};
+    if (!t->str_keys.empty()) {
+      const auto sit = t->str_keys.begin();
+      return {Value(sit->first), sit->second};
+    }
+    return {Value{}};
+  }
+  if (key.is_string()) {
+    auto it = t->str_keys.upper_bound(key.str());
+    if (it != t->str_keys.end()) return {Value(it->first), it->second};
+    return {Value{}};
+  }
+  return {Value{}};
+}
+
+std::string lua_format(const std::vector<Value>& args) {
+  const std::string fmt = need_string(args, 0, "format");
+  std::string out;
+  std::size_t argi = 1;
+  char buf[128];
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out += fmt[i];
+      continue;
+    }
+    ++i;
+    if (i >= fmt.size()) throw LuaError("invalid format string to 'format'");
+    if (fmt[i] == '%') {
+      out += '%';
+      continue;
+    }
+    // Copy the conversion spec (flags, width, precision).
+    std::string spec = "%";
+    while (i < fmt.size() &&
+           (std::string("-+ #0123456789.").find(fmt[i]) != std::string::npos)) {
+      spec += fmt[i++];
+    }
+    if (i >= fmt.size()) throw LuaError("invalid format string to 'format'");
+    const char conv = fmt[i];
+    switch (conv) {
+      case 'd':
+      case 'i': {
+        spec += "lld";
+        std::snprintf(buf, sizeof(buf), spec.c_str(),
+                      static_cast<long long>(need_number(args, argi++, "format")));
+        out += buf;
+        break;
+      }
+      case 'u':
+      case 'x':
+      case 'X': {
+        spec += "ll";
+        spec += conv;
+        std::snprintf(buf, sizeof(buf), spec.c_str(),
+                      static_cast<unsigned long long>(
+                          need_number(args, argi++, "format")));
+        out += buf;
+        break;
+      }
+      case 'f':
+      case 'F':
+      case 'e':
+      case 'E':
+      case 'g':
+      case 'G': {
+        spec += conv;
+        std::snprintf(buf, sizeof(buf), spec.c_str(),
+                      need_number(args, argi++, "format"));
+        out += buf;
+        break;
+      }
+      case 's': {
+        const std::string s = arg_or_nil(args, argi).is_nil()
+                                  ? "nil"
+                                  : arg_or_nil(args, argi).to_display_string();
+        ++argi;
+        spec += 's';
+        if (spec == "%s") {
+          out += s;
+        } else {
+          std::snprintf(buf, sizeof(buf), spec.c_str(), s.c_str());
+          out += buf;
+        }
+        break;
+      }
+      case 'q': {
+        out += '"';
+        for (char ch : need_string(args, argi++, "format")) {
+          if (ch == '"' || ch == '\\') out += '\\';
+          if (ch == '\n') {
+            out += "\\n";
+            continue;
+          }
+          out += ch;
+        }
+        out += '"';
+        break;
+      }
+      default:
+        throw LuaError(std::string("invalid conversion '%") + conv +
+                       "' to 'format'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Interp::install_stdlib() {
+  set_function("print", [](std::vector<Value>& args, Interp& in) {
+    std::string line;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i) line += '\t';
+      line += args[i].to_display_string();
+    }
+    line += '\n';
+    in.append_output(line);
+    return std::vector<Value>{};
+  });
+
+  set_function("type", [](std::vector<Value>& args, Interp&) {
+    return std::vector<Value>{Value(std::string(arg_or_nil(args, 0).type_name()))};
+  });
+
+  set_function("tostring", [](std::vector<Value>& args, Interp&) {
+    return std::vector<Value>{Value(arg_or_nil(args, 0).to_display_string())};
+  });
+
+  set_function("tonumber", [](std::vector<Value>& args, Interp&) {
+    const auto n = arg_or_nil(args, 0).to_number();
+    return std::vector<Value>{n ? Value(*n) : Value{}};
+  });
+
+  set_function("assert", [](std::vector<Value>& args, Interp&) {
+    if (!arg_or_nil(args, 0).truthy()) {
+      const Value msg = arg_or_nil(args, 1);
+      throw LuaError(msg.is_nil() ? "assertion failed!"
+                                  : msg.to_display_string());
+    }
+    return args;
+  });
+
+  set_function("error", [](std::vector<Value>& args, Interp&) -> std::vector<Value> {
+    throw LuaError(arg_or_nil(args, 0).to_display_string());
+  });
+
+  set_function("next", [](std::vector<Value>& args, Interp&) {
+    return table_next(need_table(args, 0, "next"), arg_or_nil(args, 1));
+  });
+
+  // pcall(fn, ...) -> true, results... | false, errmsg. Lets policies
+  // guard risky sections instead of aborting the whole balancing tick.
+  set_function("pcall", [](std::vector<Value>& args, Interp& in) {
+    if (args.empty() || !args[0].is_callable())
+      return std::vector<Value>{Value(false),
+                                Value("attempt to call a non-function")};
+    std::vector<Value> fargs(args.begin() + 1, args.end());
+    try {
+      std::vector<Value> r = in.call_callable(args[0].callable(), std::move(fargs));
+      r.insert(r.begin(), Value(true));
+      return r;
+    } catch (const LuaError& e) {
+      return std::vector<Value>{Value(false), Value(std::string(e.what()))};
+    }
+  });
+
+  // select('#', ...) / select(n, ...).
+  set_function("select", [](std::vector<Value>& args, Interp&) {
+    const Value sel = arg_or_nil(args, 0);
+    if (sel.is_string() && sel.str() == "#")
+      return std::vector<Value>{Value(static_cast<double>(args.size() - 1))};
+    const auto n = sel.to_number();
+    if (!n || *n < 1.0)
+      throw LuaError("bad argument #1 to 'select' (index out of range)");
+    const auto start = static_cast<std::size_t>(*n);
+    if (start >= args.size()) return std::vector<Value>{};
+    return std::vector<Value>(args.begin() + static_cast<std::ptrdiff_t>(start),
+                              args.end());
+  });
+
+  // unpack(t [, i [, j]]) -> t[i], ..., t[j].
+  set_function("unpack", [](std::vector<Value>& args, Interp&) {
+    TablePtr t = need_table(args, 0, "unpack");
+    const double i = args.size() > 1 ? need_number(args, 1, "unpack") : 1.0;
+    const double j = args.size() > 2 ? need_number(args, 2, "unpack") : t->length();
+    std::vector<Value> out;
+    for (double k = i; k <= j; k += 1.0) out.push_back(t->get(Value(k)));
+    return out;
+  });
+
+  set_function("pairs", [](std::vector<Value>& args, Interp&) {
+    TablePtr t = need_table(args, 0, "pairs");
+    auto iter = make_builtin("next", [](std::vector<Value>& a, Interp&) {
+      return table_next(need_table(a, 0, "next"), arg_or_nil(a, 1));
+    });
+    return std::vector<Value>{Value(iter), Value(t), Value{}};
+  });
+
+  set_function("ipairs", [](std::vector<Value>& args, Interp&) {
+    TablePtr t = need_table(args, 0, "ipairs");
+    auto iter = make_builtin("ipairs-iter", [](std::vector<Value>& a, Interp&) {
+      TablePtr tt = need_table(a, 0, "ipairs");
+      const double i = need_number(a, 1, "ipairs") + 1.0;
+      Value v = tt->get(Value(i));
+      if (v.is_nil()) return std::vector<Value>{Value{}};
+      return std::vector<Value>{Value(i), std::move(v)};
+    });
+    return std::vector<Value>{Value(iter), Value(t), Value(0.0)};
+  });
+
+  // max/min as globals, as in the Mantle environment (paper Table 2).
+  set_function("max", [](std::vector<Value>& args, Interp&) {
+    double m = need_number(args, 0, "max");
+    for (std::size_t i = 1; i < args.size(); ++i)
+      m = std::max(m, need_number(args, i, "max"));
+    return std::vector<Value>{Value(m)};
+  });
+  set_function("min", [](std::vector<Value>& args, Interp&) {
+    double m = need_number(args, 0, "min");
+    for (std::size_t i = 1; i < args.size(); ++i)
+      m = std::min(m, need_number(args, i, "min"));
+    return std::vector<Value>{Value(m)};
+  });
+
+  // ---- math -----------------------------------------------------------
+  TablePtr math = make_table();
+  auto math_fn1 = [&](const char* name, double (*fn)(double)) {
+    math->set(Value(name),
+              Value(make_builtin(name, [fn, name](std::vector<Value>& a, Interp&) {
+                return std::vector<Value>{Value(fn(need_number(a, 0, name)))};
+              })));
+  };
+  math_fn1("floor", [](double x) { return std::floor(x); });
+  math_fn1("ceil", [](double x) { return std::ceil(x); });
+  math_fn1("abs", [](double x) { return std::fabs(x); });
+  math_fn1("sqrt", [](double x) { return std::sqrt(x); });
+  math_fn1("exp", [](double x) { return std::exp(x); });
+  math_fn1("log", [](double x) { return std::log(x); });
+  math_fn1("sin", [](double x) { return std::sin(x); });
+  math_fn1("cos", [](double x) { return std::cos(x); });
+  math->set(Value("pow"),
+            Value(make_builtin("pow", [](std::vector<Value>& a, Interp&) {
+              return std::vector<Value>{Value(
+                  std::pow(need_number(a, 0, "pow"), need_number(a, 1, "pow")))};
+            })));
+  math->set(Value("fmod"),
+            Value(make_builtin("fmod", [](std::vector<Value>& a, Interp&) {
+              return std::vector<Value>{Value(std::fmod(
+                  need_number(a, 0, "fmod"), need_number(a, 1, "fmod")))};
+            })));
+  math->set(Value("max"), get_global("max"));
+  math->set(Value("min"), get_global("min"));
+  math->set(Value("huge"), Value(HUGE_VAL));
+  math->set(Value("pi"), Value(3.14159265358979323846));
+  math->set(Value("random"),
+            Value(make_builtin("random", [](std::vector<Value>& a, Interp& in) {
+              if (a.empty())
+                return std::vector<Value>{Value(in.rng().next_double())};
+              if (a.size() == 1) {
+                const auto hi = static_cast<std::uint64_t>(
+                    need_number(a, 0, "random"));
+                return std::vector<Value>{
+                    Value(static_cast<double>(in.rng().uniform(1, hi)))};
+              }
+              const auto lo =
+                  static_cast<std::uint64_t>(need_number(a, 0, "random"));
+              const auto hi =
+                  static_cast<std::uint64_t>(need_number(a, 1, "random"));
+              return std::vector<Value>{
+                  Value(static_cast<double>(in.rng().uniform(lo, hi)))};
+            })));
+  set_global("math", Value(math));
+
+  // ---- string ----------------------------------------------------------
+  TablePtr str = make_table();
+  str->set(Value("len"),
+           Value(make_builtin("len", [](std::vector<Value>& a, Interp&) {
+             return std::vector<Value>{
+                 Value(static_cast<double>(need_string(a, 0, "len").size()))};
+           })));
+  str->set(Value("sub"),
+           Value(make_builtin("sub", [](std::vector<Value>& a, Interp&) {
+             const std::string s = need_string(a, 0, "sub");
+             const auto n = static_cast<long long>(s.size());
+             long long i = static_cast<long long>(need_number(a, 1, "sub"));
+             long long j = a.size() > 2
+                               ? static_cast<long long>(need_number(a, 2, "sub"))
+                               : -1;
+             if (i < 0) i = std::max<long long>(n + i + 1, 1);
+             if (i < 1) i = 1;
+             if (j < 0) j = n + j + 1;
+             if (j > n) j = n;
+             if (i > j) return std::vector<Value>{Value(std::string())};
+             return std::vector<Value>{Value(s.substr(
+                 static_cast<std::size_t>(i - 1), static_cast<std::size_t>(j - i + 1)))};
+           })));
+  str->set(Value("upper"),
+           Value(make_builtin("upper", [](std::vector<Value>& a, Interp&) {
+             std::string s = need_string(a, 0, "upper");
+             for (char& c : s) c = static_cast<char>(std::toupper(c));
+             return std::vector<Value>{Value(std::move(s))};
+           })));
+  str->set(Value("lower"),
+           Value(make_builtin("lower", [](std::vector<Value>& a, Interp&) {
+             std::string s = need_string(a, 0, "lower");
+             for (char& c : s) c = static_cast<char>(std::tolower(c));
+             return std::vector<Value>{Value(std::move(s))};
+           })));
+  str->set(Value("rep"),
+           Value(make_builtin("rep", [](std::vector<Value>& a, Interp&) {
+             const std::string s = need_string(a, 0, "rep");
+             const auto n = static_cast<long long>(need_number(a, 1, "rep"));
+             std::string out;
+             for (long long i = 0; i < n; ++i) out += s;
+             return std::vector<Value>{Value(std::move(out))};
+           })));
+  str->set(Value("find"),
+           Value(make_builtin("find", [](std::vector<Value>& a, Interp&) {
+             // Plain substring find (no patterns).
+             const std::string s = need_string(a, 0, "find");
+             const std::string needle = need_string(a, 1, "find");
+             const auto pos = s.find(needle);
+             if (pos == std::string::npos) return std::vector<Value>{Value{}};
+             return std::vector<Value>{
+                 Value(static_cast<double>(pos + 1)),
+                 Value(static_cast<double>(pos + needle.size()))};
+           })));
+  str->set(Value("format"),
+           Value(make_builtin("format", [](std::vector<Value>& a, Interp&) {
+             return std::vector<Value>{Value(lua_format(a))};
+           })));
+  set_global("string", Value(str));
+
+  // ---- table -----------------------------------------------------------
+  TablePtr tbl = make_table();
+  tbl->set(Value("insert"),
+           Value(make_builtin("insert", [](std::vector<Value>& a, Interp&) {
+             TablePtr t = need_table(a, 0, "insert");
+             if (a.size() <= 2) {
+               t->set(Value(t->length() + 1.0), arg_or_nil(a, 1));
+             } else {
+               const double pos = need_number(a, 1, "insert");
+               // Shift elements [pos, len] up by one.
+               for (double i = t->length(); i >= pos; i -= 1.0)
+                 t->set(Value(i + 1.0), t->get(Value(i)));
+               t->set(Value(pos), arg_or_nil(a, 2));
+             }
+             return std::vector<Value>{};
+           })));
+  tbl->set(Value("remove"),
+           Value(make_builtin("remove", [](std::vector<Value>& a, Interp&) {
+             TablePtr t = need_table(a, 0, "remove");
+             const double len = t->length();
+             if (len == 0.0) return std::vector<Value>{Value{}};
+             const double pos = a.size() > 1 ? need_number(a, 1, "remove") : len;
+             Value removed = t->get(Value(pos));
+             for (double i = pos; i < len; i += 1.0)
+               t->set(Value(i), t->get(Value(i + 1.0)));
+             t->set(Value(len), Value{});
+             return std::vector<Value>{std::move(removed)};
+           })));
+  tbl->set(Value("concat"),
+           Value(make_builtin("concat", [](std::vector<Value>& a, Interp&) {
+             TablePtr t = need_table(a, 0, "concat");
+             const std::string sep = a.size() > 1 ? need_string(a, 1, "concat") : "";
+             std::string out;
+             const double len = t->length();
+             for (double i = 1.0; i <= len; i += 1.0) {
+               if (i > 1.0) out += sep;
+               out += t->get(Value(i)).to_display_string();
+             }
+             return std::vector<Value>{Value(std::move(out))};
+           })));
+  tbl->set(Value("sort"),
+           Value(make_builtin("sort", [](std::vector<Value>& a, Interp& in) {
+             TablePtr t = need_table(a, 0, "sort");
+             const Value cmp = arg_or_nil(a, 1);
+             const auto len = static_cast<std::size_t>(t->length());
+             std::vector<Value> items;
+             items.reserve(len);
+             for (std::size_t i = 1; i <= len; ++i)
+               items.push_back(t->get(Value(static_cast<double>(i))));
+             auto less = [&](const Value& x, const Value& y) {
+               if (!cmp.is_nil()) {
+                 std::vector<Value> cargs{x, y};
+                 auto r = in.call_callable(cmp.callable(), std::move(cargs));
+                 return !r.empty() && r[0].truthy();
+               }
+               if (x.is_number() && y.is_number()) return x.number() < y.number();
+               if (x.is_string() && y.is_string()) return x.str() < y.str();
+               throw LuaError("attempt to compare incompatible values in sort");
+             };
+             std::stable_sort(items.begin(), items.end(), less);
+             for (std::size_t i = 0; i < items.size(); ++i)
+               t->set(Value(static_cast<double>(i + 1)), items[i]);
+             return std::vector<Value>{};
+           })));
+  set_global("table", Value(tbl));
+}
+
+}  // namespace mantle::lua

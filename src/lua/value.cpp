@@ -1,0 +1,115 @@
+#include "lua/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mantle::lua {
+
+bool Value::equals(const Value& o) const {
+  if (v_.index() != o.v_.index()) return false;
+  if (is_nil()) return true;
+  if (is_bool()) return boolean() == o.boolean();
+  if (is_number()) return number() == o.number();
+  if (is_string()) return str() == o.str();
+  if (is_table()) return table() == o.table();
+  return callable() == o.callable();
+}
+
+const char* Value::type_name() const {
+  switch (v_.index()) {
+    case 0: return "nil";
+    case 1: return "boolean";
+    case 2: return "number";
+    case 3: return "string";
+    case 4: return "table";
+    default: return "function";
+  }
+}
+
+std::string Value::to_display_string() const {
+  if (is_nil()) return "nil";
+  if (is_bool()) return boolean() ? "true" : "false";
+  if (is_number()) {
+    const double d = number();
+    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0f", d);
+      return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.14g", d);
+    return buf;
+  }
+  if (is_string()) return str();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s: %p", type_name(),
+                is_table() ? static_cast<const void*>(table().get())
+                           : static_cast<const void*>(callable().get()));
+  return buf;
+}
+
+std::optional<double> Value::to_number() const {
+  if (is_number()) return number();
+  if (is_string()) {
+    const char* s = str().c_str();
+    char* end = nullptr;
+    const double d = std::strtod(s, &end);
+    if (end == s) return std::nullopt;
+    while (*end == ' ' || *end == '\t') ++end;
+    if (*end != '\0') return std::nullopt;
+    return d;
+  }
+  return std::nullopt;
+}
+
+Value Table::get(const Value& key) const {
+  if (key.is_number()) {
+    const auto it = num_keys.find(key.number());
+    return it == num_keys.end() ? Value{} : it->second;
+  }
+  if (key.is_string()) {
+    const auto it = str_keys.find(key.str());
+    return it == str_keys.end() ? Value{} : it->second;
+  }
+  if (key.is_nil()) throw LuaError("table index is nil");
+  throw LuaError(std::string("unsupported table key type: ") + key.type_name());
+}
+
+void Table::set(const Value& key, Value value) {
+  if (key.is_number()) {
+    const double k = key.number();
+    if (std::isnan(k)) throw LuaError("table index is NaN");
+    if (value.is_nil())
+      num_keys.erase(k);
+    else
+      num_keys[k] = std::move(value);
+    return;
+  }
+  if (key.is_string()) {
+    if (value.is_nil())
+      str_keys.erase(key.str());
+    else
+      str_keys[key.str()] = std::move(value);
+    return;
+  }
+  if (key.is_nil()) throw LuaError("table index is nil");
+  throw LuaError(std::string("unsupported table key type: ") + key.type_name());
+}
+
+double Table::length() const {
+  double n = 0.0;
+  while (num_keys.count(n + 1.0) != 0) n += 1.0;
+  return n;
+}
+
+TablePtr make_table() { return std::make_shared<Table>(); }
+
+CallablePtr make_builtin(std::string name, Callable::Builtin fn) {
+  auto c = std::make_shared<Callable>();
+  c->name = std::move(name);
+  c->builtin = std::move(fn);
+  return c;
+}
+
+}  // namespace mantle::lua

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+/// \file value.hpp
+/// Runtime values for luam, the embedded Lua-subset used by the Mantle
+/// policy engine. The paper injects balancer policies as Lua; offline we
+/// cannot ship LuaJIT, so luam implements the subset those policies need
+/// (plus a healthy margin): nil/boolean/number/string/table/function,
+/// full expression grammar, control flow, closures, and a small stdlib.
+
+namespace mantle::lua {
+
+class Interp;
+struct Table;
+struct Callable;
+
+using TablePtr = std::shared_ptr<Table>;
+using CallablePtr = std::shared_ptr<Callable>;
+
+/// A single Lua value. Numbers are doubles (Lua 5.1 semantics).
+class Value {
+ public:
+  Value() = default;  // nil
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(std::size_t i) : v_(static_cast<double>(i)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(TablePtr t) : v_(std::move(t)) {}
+  Value(CallablePtr f) : v_(std::move(f)) {}
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_table() const { return std::holds_alternative<TablePtr>(v_); }
+  bool is_callable() const { return std::holds_alternative<CallablePtr>(v_); }
+
+  bool boolean() const { return std::get<bool>(v_); }
+  double number() const { return std::get<double>(v_); }
+  const std::string& str() const { return std::get<std::string>(v_); }
+  const TablePtr& table() const { return std::get<TablePtr>(v_); }
+  const CallablePtr& callable() const { return std::get<CallablePtr>(v_); }
+
+  /// Lua truthiness: everything but nil and false is true.
+  bool truthy() const {
+    if (is_nil()) return false;
+    if (is_bool()) return boolean();
+    return true;
+  }
+
+  /// Raw (non-metamethod) equality, Lua `==` semantics.
+  bool equals(const Value& o) const;
+
+  const char* type_name() const;
+
+  /// tostring() rendering: integers print without a decimal point.
+  std::string to_display_string() const;
+
+  /// tonumber() semantics: numbers pass through, numeric strings parse,
+  /// anything else yields nullopt.
+  std::optional<double> to_number() const;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, TablePtr, CallablePtr> v_;
+};
+
+/// Lua table: separate numeric and string key maps (the only key types the
+/// interpreter accepts; boolean/nil keys raise runtime errors). Numeric
+/// keys are stored as doubles, matching Lua 5.1.
+struct Table {
+  std::map<double, Value> num_keys;
+  std::map<std::string, Value> str_keys;
+
+  /// Raw get; nil for missing keys. Throws LuaError for nil keys.
+  Value get(const Value& key) const;
+
+  /// Raw set; assigning nil erases the key.
+  void set(const Value& key, Value value);
+
+  /// `#t`: the border — largest n >= 1 with t[1..n] all non-nil.
+  double length() const;
+
+  /// Number of populated entries across both key spaces.
+  std::size_t size() const { return num_keys.size() + str_keys.size(); }
+};
+
+TablePtr make_table();
+
+/// Error raised by the lexer/parser/interpreter; carries a message with
+/// chunk name and line number already formatted in.
+class LuaError : public std::exception {
+ public:
+  explicit LuaError(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
+struct FunctionDef;  // AST node, defined in ast.hpp
+struct Scope;
+
+/// A callable: either a C++ builtin or a luam closure.
+struct Callable {
+  /// Builtins receive their arguments and the interpreter (for calling back
+  /// into script code or reading globals) and return the result values.
+  using Builtin =
+      std::function<std::vector<Value>(std::vector<Value>&, Interp&)>;
+
+  std::string name;
+  Builtin builtin;                        // set for builtins
+  const FunctionDef* def = nullptr;       // set for luam closures
+  std::shared_ptr<Scope> closure;         // captured environment
+  std::shared_ptr<const void> owner;      // pins the AST the def lives in
+};
+
+CallablePtr make_builtin(std::string name, Callable::Builtin fn);
+
+}  // namespace mantle::lua

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+/// \file types.hpp
+/// Core identifiers for the metadata service: inode numbers, directory
+/// fragments (Ceph's frag_t), and the (inode, frag) pair that is the unit
+/// of authority and migration in dynamic subtree partitioning.
+
+namespace mantle::mds {
+
+using InodeId = std::uint64_t;
+inline constexpr InodeId kNoInode = 0;
+inline constexpr InodeId kRootInode = 1;
+
+/// MDS rank within the cluster (0-based); -1 = unknown/none.
+using MdsRank = int;
+inline constexpr MdsRank kNoRank = -1;
+
+/// 32-bit FNV-1a hash with a murmur-style avalanche finalizer, used to
+/// place dentry names into dirfrags. The finalizer matters: dirfrags
+/// partition the hash space by *prefix bits*, and plain FNV-1a over
+/// sequential names ("f0", "f1", ...) is badly skewed in its high bits,
+/// which would make "ship half the dirfrags" ship much more or less than
+/// half the load.
+constexpr std::uint32_t hash_dentry_name(std::string_view name) noexcept {
+  std::uint32_t h = 2166136261u;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+/// A directory fragment descriptor, modelled on Ceph's frag_t: a prefix of
+/// the 32-bit dentry-hash space. `bits` leading bits of `value` identify
+/// the fragment; bits == 0 is the whole directory (the root fragment).
+/// Splitting by n bits yields 2^n children, exactly the GIGA+-equivalent
+/// mechanism the paper describes ("the first iteration fragments into
+/// 2^3 = 8 dirfrags").
+class frag_t {
+ public:
+  constexpr frag_t() = default;  // root fragment: everything
+  constexpr frag_t(std::uint32_t value, std::uint8_t bits)
+      : value_(bits == 0 ? 0 : (value & mask(bits))), bits_(bits) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::uint8_t bits() const { return bits_; }
+  constexpr bool is_root() const { return bits_ == 0; }
+
+  /// Does this fragment cover the given dentry hash?
+  constexpr bool contains(std::uint32_t hash) const {
+    return bits_ == 0 || ((hash & mask(bits_)) == value_);
+  }
+
+  /// Does this fragment fully contain another (equal or ancestor of it)?
+  constexpr bool contains(frag_t other) const {
+    return bits_ <= other.bits_ && other.contains_prefix(value_, bits_);
+  }
+
+  /// The i-th child after splitting this fragment by `nbits` more bits.
+  constexpr frag_t child(std::uint32_t i, std::uint8_t nbits) const {
+    return frag_t(value_ | (i << (32 - bits_ - nbits)),
+                  static_cast<std::uint8_t>(bits_ + nbits));
+  }
+
+  /// The fragment `nbits` levels up; nbits must be <= bits().
+  constexpr frag_t parent(std::uint8_t nbits = 1) const {
+    const auto b = static_cast<std::uint8_t>(bits_ - nbits);
+    return frag_t(b == 0 ? 0 : (value_ & mask(b)), b);
+  }
+
+  /// Which sibling index this fragment has under parent(nbits).
+  constexpr std::uint32_t index_under_parent(std::uint8_t nbits = 1) const {
+    return (value_ >> (32 - bits_)) & ((1u << nbits) - 1u);
+  }
+
+  constexpr auto operator<=>(const frag_t&) const = default;
+
+  std::string str() const {
+    // Matches Ceph's "value/bits" rendering, e.g. "0x80000000/1".
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%08x/%u", value_, bits_);
+    return buf;
+  }
+
+ private:
+  constexpr bool contains_prefix(std::uint32_t value, std::uint8_t bits) const {
+    return bits == 0 || ((value_ & mask(bits)) == value);
+  }
+  static constexpr std::uint32_t mask(std::uint8_t bits) {
+    return bits == 0 ? 0u : (~0u << (32 - bits));
+  }
+
+  std::uint32_t value_ = 0;
+  std::uint8_t bits_ = 0;
+};
+
+/// The unit of authority, load accounting and migration.
+struct DirFragId {
+  InodeId ino = kNoInode;
+  frag_t frag;
+
+  constexpr auto operator<=>(const DirFragId&) const = default;
+
+  std::string str() const {
+    return std::to_string(ino) + "." + frag.str();
+  }
+};
+
+}  // namespace mantle::mds

@@ -1,0 +1,95 @@
+#include "sim/client.hpp"
+
+namespace mantle::sim {
+
+using cluster::Reply;
+using cluster::Request;
+using mantle::mds::kNoInode;
+using mantle::mds::MdsRank;
+
+Client::Client(int id, cluster::MdsCluster& cluster,
+               std::unique_ptr<Workload> wl, Rng rng)
+    : id_(id), cluster_(cluster), workload_(std::move(wl)), rng_(rng) {}
+
+void Client::start() {
+  if (started_) return;
+  started_ = true;
+  started_at_ = cluster_.engine().now();
+  issue_next();
+}
+
+void Client::issue_next() {
+  std::optional<WorkOp> op = workload_->next(rng_);
+  if (!op) {
+    done_ = true;
+    finished_at_ = cluster_.engine().now();
+    return;
+  }
+
+  const auto res = cluster_.ns().resolve(op->dir_path);
+  if (!res.found || !res.is_dir) {
+    // The target directory does not exist (workload ordering bug or a
+    // failed earlier mkdir): count it and move on without a round trip.
+    ++ops_failed_;
+    cluster_.engine().schedule_after(1, [this]() { issue_next(); });
+    return;
+  }
+
+  Request r;
+  r.id = next_req_id_++;
+  r.client = id_;
+  r.op = op->op;
+  r.dir = res.ino;
+  r.name = op->name;
+  r.issued_at = cluster_.engine().now();
+
+  if (op->op == cluster::OpType::Rename) {
+    const auto dst = cluster_.ns().resolve(op->dst_dir_path);
+    if (!dst.found || !dst.is_dir) {
+      ++ops_failed_;
+      cluster_.engine().schedule_after(1, [this]() { issue_next(); });
+      return;
+    }
+    r.dst_dir = dst.ino;
+    r.dst_name = op->dst_name;
+  }
+
+  // Route by the learned fragment map: the client hashes the dentry name
+  // into the directory's fragtree (which it caches) and sends to the MDS
+  // it last saw serve that fragment.
+  const mantle::mds::DirFragId frag =
+      r.name.empty()
+          ? mantle::mds::DirFragId{res.ino, {}}
+          : cluster_.ns().frag_of(res.ino, r.name);
+  auto it = auth_cache_.find(frag);
+  if (it == auth_cache_.end()) {
+    // Unknown fragment (e.g. freshly split): fall back to any entry for
+    // the same directory, else to mds0.
+    it = auth_cache_.lower_bound({res.ino, {}});
+    if (it == auth_cache_.end() || it->first.ino != res.ino)
+      it = auth_cache_.end();
+  }
+  const MdsRank guess = it == auth_cache_.end() ? 0 : it->second;
+  cluster_.client_submit(std::move(r), guess);
+}
+
+void Client::on_reply(const Reply& rep) {
+  const Time now = cluster_.engine().now();
+  latencies_.add(to_seconds(now - rep.issued_at) * 1e3);
+  if (rep.ok)
+    ++ops_completed_;
+  else
+    ++ops_failed_;
+  forwards_seen_ += static_cast<std::uint64_t>(rep.hops);
+  if (rep.dir != kNoInode)
+    auth_cache_[{rep.dir, rep.frag}] = rep.served_by;
+
+  const Time think = workload_->think_time(rng_);
+  if (think == 0) {
+    issue_next();
+  } else {
+    cluster_.engine().schedule_after(think, [this]() { issue_next(); });
+  }
+}
+
+}  // namespace mantle::sim

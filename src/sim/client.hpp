@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "sim/workload.hpp"
+
+/// \file client.hpp
+/// A closed-loop metadata client: one outstanding request, a think time
+/// between requests, and a cached map of directory -> authoritative MDS
+/// learned from replies (the paper: "as the client receives responses
+/// from MDS nodes, it builds up its own mapping of subtrees to MDS
+/// nodes"). Stale cache entries after a migration produce forwards.
+
+namespace mantle::sim {
+
+class Client {
+ public:
+  Client(int id, cluster::MdsCluster& cluster, std::unique_ptr<Workload> wl,
+         Rng rng);
+
+  int id() const { return id_; }
+
+  /// Issue the first request (call after the cluster reply handler is set).
+  void start();
+
+  /// Scenario routes replies here by client id.
+  void on_reply(const cluster::Reply& rep);
+
+  bool done() const { return done_; }
+  Time started_at() const { return started_at_; }
+  Time finished_at() const { return finished_at_; }
+  Time runtime() const { return finished_at_ - started_at_; }
+
+  std::uint64_t ops_completed() const { return ops_completed_; }
+  std::uint64_t ops_failed() const { return ops_failed_; }
+  std::uint64_t forwards_seen() const { return forwards_seen_; }
+
+  /// Per-request latency samples in milliseconds.
+  const mantle::SampleSet& latencies_ms() const { return latencies_; }
+
+ private:
+  void issue_next();
+
+  int id_;
+  cluster::MdsCluster& cluster_;
+  std::unique_ptr<Workload> workload_;
+  Rng rng_;
+
+  // Learned dirfrag -> MDS map (CephFS clients build "their own mapping
+  // of subtrees to MDS nodes" from replies, at fragment granularity).
+  std::map<mantle::mds::DirFragId, mantle::mds::MdsRank> auth_cache_;
+  std::uint64_t next_req_id_ = 1;
+  std::uint64_t ops_completed_ = 0;
+  std::uint64_t ops_failed_ = 0;
+  std::uint64_t forwards_seen_ = 0;
+  bool done_ = false;
+  bool started_ = false;
+  Time started_at_ = 0;
+  Time finished_at_ = 0;
+  mantle::SampleSet latencies_;
+};
+
+}  // namespace mantle::sim

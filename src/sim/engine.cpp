@@ -1,0 +1,33 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace mantle::sim {
+
+void Engine::schedule_at(Time when, Callback fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::uint64_t Engine::run_until(Time horizon) {
+  std::uint64_t dispatched = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the callback must be moved out before
+    // pop, so copy the small parts and move the function via const_cast-free
+    // re-push avoidance: take a copy of the handle first.
+    const Event& top = queue_.top();
+    if (top.when > horizon) break;
+    Time when = top.when;
+    Callback fn = std::move(const_cast<Event&>(top).fn);
+    queue_.pop();
+    now_ = when;
+    fn();
+    ++dispatched;
+  }
+  if (queue_.empty() && now_ < horizon) {
+    // Nothing left; clock stays at the last dispatched event.
+  }
+  return dispatched;
+}
+
+}  // namespace mantle::sim

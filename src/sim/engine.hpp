@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+/// \file engine.hpp
+/// Deterministic discrete-event engine. Events scheduled for the same
+/// timestamp fire in scheduling order (FIFO by sequence number), so a run
+/// is a pure function of its inputs and seeds — which is exactly what the
+/// Figure 4 reproduction needs: the paper shows CephFS balancing is *not*
+/// reproducible run to run, and we reproduce that by varying only seeds.
+
+namespace mantle::sim {
+
+using mantle::Time;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (>= now; earlier times are
+  /// clamped to now).
+  void schedule_at(Time when, Callback fn);
+
+  /// Schedule `fn` after a delay from now.
+  void schedule_after(Time delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the queue is empty or the horizon is reached. Returns the
+  /// number of events dispatched.
+  std::uint64_t run_until(Time horizon);
+
+  /// Drain everything (no horizon).
+  std::uint64_t run() { return run_until(~Time{0}); }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mantle::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/client.hpp"
+#include "sim/engine.hpp"
+
+/// \file scenario.hpp
+/// Experiment runner: wires an engine, a cluster and a set of clients
+/// together, runs to completion (or a horizon) and exposes the metrics the
+/// paper's figures are made of: per-client runtimes, latency
+/// distributions, per-MDS throughput timelines, forwards/hits, session
+/// flushes and the migration log.
+
+namespace mantle::sim {
+
+struct ScenarioConfig {
+  cluster::ClusterConfig cluster;
+  Time max_time = 60 * mantle::kMinute;  // safety horizon
+  Time slice = mantle::kSec;             // completion-check granularity
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  Engine& engine() { return engine_; }
+  cluster::MdsCluster& cluster() { return *cluster_; }
+
+  /// Add a closed-loop client running the given workload. Returns its id.
+  int add_client(std::unique_ptr<Workload> wl);
+
+  /// Register a periodic probe (e.g. heat-map sampling for Figure 1).
+  /// Probes stop firing when the scenario ends.
+  void add_probe(Time interval, std::function<void(Time)> fn);
+
+  /// Run until every client finished or cfg.max_time. Returns makespan
+  /// (time of the last client finishing, or the horizon).
+  Time run();
+
+  // -- Results -----------------------------------------------------------------
+  const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
+  Client& client(int id) { return *clients_.at(static_cast<std::size_t>(id)); }
+
+  /// Makespan of the last run.
+  Time makespan() const { return makespan_; }
+
+  /// All client latencies pooled (milliseconds).
+  mantle::SampleSet pooled_latencies_ms() const;
+
+  /// Aggregate client-visible throughput (completed ops / makespan).
+  double aggregate_throughput() const;
+
+ private:
+  ScenarioConfig cfg_;
+  Engine engine_;
+  std::unique_ptr<cluster::MdsCluster> cluster_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  struct Probe {
+    Time interval;
+    std::function<void(Time)> fn;
+  };
+  std::vector<Probe> probes_;
+  bool running_ = false;
+  Time makespan_ = 0;
+};
+
+}  // namespace mantle::sim

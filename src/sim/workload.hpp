@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+
+/// \file workload.hpp
+/// Workload interface: a client pulls one operation at a time (closed
+/// loop). Operations address a directory by path plus a dentry name; the
+/// client resolves the path and issues the request against the cluster.
+
+namespace mantle::sim {
+
+struct WorkOp {
+  cluster::OpType op = cluster::OpType::Getattr;
+  std::string dir_path;  // absolute path of the target directory
+  std::string name;      // dentry name ("" for whole-directory ops)
+  // Rename only: destination directory path + new dentry name.
+  std::string dst_dir_path;
+  std::string dst_name;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// The next operation, or nullopt when the workload is finished.
+  virtual std::optional<WorkOp> next(Rng& rng) = 0;
+
+  /// Client-side delay between receiving a reply and issuing the next
+  /// request (compute / compile time between metadata ops).
+  virtual Time think_time(Rng& rng) {
+    (void)rng;
+    return 0;
+  }
+
+  /// Optional label for reports.
+  virtual std::string name() const { return "workload"; }
+};
+
+}  // namespace mantle::sim

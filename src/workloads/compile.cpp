@@ -1,0 +1,150 @@
+#include "workloads/compile.hpp"
+
+namespace mantle::workloads {
+
+const std::vector<CompileDirSpec>& compile_tree_spec() {
+  // Weights concentrate compile-phase heat in arch/kernel/fs/mm, matching
+  // the hotspots in the paper's Figure 1; drivers/include are the big
+  // directories, as in the Linux tree.
+  static const std::vector<CompileDirSpec> spec = {
+      {"arch", 0.20, 1.5},    {"kernel", 0.22, 1.0}, {"fs", 0.16, 1.2},
+      {"mm", 0.12, 0.8},      {"include", 0.08, 2.0}, {"drivers", 0.06, 3.0},
+      {"net", 0.04, 1.5},     {"lib", 0.03, 0.8},     {"block", 0.02, 0.5},
+      {"crypto", 0.02, 0.5},  {"init", 0.01, 0.3},    {"ipc", 0.01, 0.3},
+      {"scripts", 0.01, 0.5}, {"security", 0.01, 0.5}, {"sound", 0.01, 1.0},
+  };
+  return spec;
+}
+
+CompileWorkload::CompileWorkload(CompileOptions opt) : opt_(std::move(opt)) {
+  const auto& spec = compile_tree_spec();
+  files_in_dir_.reserve(spec.size());
+  hot_cdf_.reserve(spec.size());
+  double acc = 0.0;
+  for (const CompileDirSpec& d : spec) {
+    files_in_dir_.push_back(std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(opt_.files_per_dir) *
+                                    d.size_factor)));
+    acc += d.hot_weight;
+    hot_cdf_.push_back(acc);
+  }
+  // Normalize the CDF (weights above sum to < 1 by design).
+  for (double& c : hot_cdf_) c /= acc;
+}
+
+std::size_t CompileWorkload::pick_hot_dir(mantle::Rng& rng) const {
+  const double u = rng.next_double();
+  for (std::size_t i = 0; i < hot_cdf_.size(); ++i)
+    if (u <= hot_cdf_[i]) return i;
+  return hot_cdf_.size() - 1;
+}
+
+std::optional<sim::WorkOp> CompileWorkload::next(mantle::Rng& rng) {
+  switch (phase_) {
+    case Phase::Untar:
+      return untar_next();
+    case Phase::Compile:
+      return compile_next(rng);
+    case Phase::Read:
+      return read_next();
+    case Phase::Link:
+      return link_next();
+    case Phase::Done:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+sim::WorkOp CompileWorkload::untar_next() {
+  const auto& spec = compile_tree_spec();
+  if (!root_made_) {
+    root_made_ = true;
+    const auto parts = mantle::mds::split_path(opt_.root);
+    std::string parent = "/";
+    for (std::size_t i = 0; i + 1 < parts.size(); ++i) parent += parts[i] + "/";
+    return {cluster::OpType::Mkdir, parent, parts.back()};
+  }
+  // One mkdir per directory, then its files, then the next directory —
+  // the sequential front of heat visible in Figure 1's untar band.
+  // untar_file_ == 0 means the mkdir for spec[untar_dir_] is pending.
+  if (untar_file_ == 0) {
+    ++untar_file_;
+    return {cluster::OpType::Mkdir, opt_.root, spec[untar_dir_].name};
+  }
+  const std::string dir = opt_.root + "/" + spec[untar_dir_].name;
+  const std::size_t f = untar_file_ - 1;
+  sim::WorkOp op{cluster::OpType::Create, dir, "s" + std::to_string(f)};
+  ++untar_file_;
+  if (untar_file_ > files_in_dir_[untar_dir_]) {
+    untar_file_ = 0;
+    ++untar_dir_;
+    if (untar_dir_ >= spec.size()) phase_ = Phase::Compile;
+  }
+  return op;
+}
+
+sim::WorkOp CompileWorkload::compile_next(mantle::Rng& rng) {
+  const auto& spec = compile_tree_spec();
+  const std::size_t d = pick_hot_dir(rng);
+  const std::string dir = opt_.root + "/" + spec[d].name;
+  ++compile_done_;
+  if (compile_done_ >= opt_.compile_ops) phase_ = Phase::Read;
+
+  const double u = rng.next_double();
+  if (u < 0.50) {
+    // Read a source file's attributes (open for read).
+    const std::size_t f = rng.uniform(0, files_in_dir_[d] - 1);
+    return {cluster::OpType::Getattr, dir, "s" + std::to_string(f)};
+  }
+  if (u < 0.80) {
+    // Emit an object file.
+    return {cluster::OpType::Create, dir,
+            "o" + std::to_string(objects_made_++)};
+  }
+  // Header lookup (usually in include/, but modelled per-dir).
+  const std::size_t f = rng.uniform(0, files_in_dir_[d] - 1);
+  return {cluster::OpType::Lookup, dir, "s" + std::to_string(f)};
+}
+
+sim::WorkOp CompileWorkload::read_next() {
+  const auto& spec = compile_tree_spec();
+  // Sweep getattrs across directories round-robin.
+  const std::size_t idx = read_done_++;
+  if (read_done_ >= opt_.read_ops) phase_ = Phase::Link;
+  const std::size_t d = idx % spec.size();
+  const std::size_t f = (idx / spec.size()) % files_in_dir_[d];
+  return {cluster::OpType::Getattr, opt_.root + "/" + spec[d].name,
+          "s" + std::to_string(f)};
+}
+
+sim::WorkOp CompileWorkload::link_next() {
+  const auto& spec = compile_tree_spec();
+  const sim::WorkOp op{cluster::OpType::Readdir,
+                       opt_.root + "/" + spec[link_dir_].name, ""};
+  if (++link_dir_ >= spec.size()) {
+    link_dir_ = 0;
+    if (++link_round_ >= opt_.link_rounds) phase_ = Phase::Done;
+  }
+  return op;
+}
+
+mantle::Time CompileWorkload::think_time(mantle::Rng& rng) {
+  mantle::Time mean = 0;
+  switch (phase_) {
+    case Phase::Untar: mean = opt_.untar_think; break;
+    case Phase::Compile: mean = opt_.compile_think; break;
+    case Phase::Read: mean = opt_.read_think; break;
+    case Phase::Link: mean = opt_.link_think; break;
+    case Phase::Done: return 0;
+  }
+  if (mean == 0) return 0;
+  return mantle::from_seconds(rng.exponential(mantle::to_seconds(mean)));
+}
+
+std::unique_ptr<sim::Workload> make_compile_workload(int client_id,
+                                                     CompileOptions opt) {
+  if (opt.root == "/src") opt.root = "/client" + std::to_string(client_id);
+  return std::make_unique<CompileWorkload>(std::move(opt));
+}
+
+}  // namespace mantle::workloads

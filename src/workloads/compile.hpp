@@ -1,0 +1,89 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+/// \file compile.hpp
+/// Model of compiling a source tree the size/shape of the Linux kernel,
+/// the paper's second workload (Figures 1, 3, 9, 10). Four phases with
+/// distinct metadata signatures:
+///
+///   1. untar   — mkdir the tree, then sequential creates sweeping the
+///                directories (high spatial locality moving front).
+///   2. compile — reads/lookups/creates concentrated in hot directories
+///                (arch, kernel, fs, mm), with compute think time.
+///   3. read    — getattr sweep over the tree (e.g. depmod/install).
+///   4. link    — a readdir flash crowd over every directory, the spike
+///                that overloads a single MDS at the end of Figure 10.
+///
+/// The substitution preserves exactly what the paper's figures depend on:
+/// hotspot structure, phase shifts, request-type mix, and the final flash
+/// crowd. See DESIGN.md §2.
+
+namespace mantle::workloads {
+
+struct CompileOptions {
+  std::string root = "/src";   // per-client source tree root
+  std::size_t files_per_dir = 40;
+  std::size_t compile_ops = 4000;
+  std::size_t read_ops = 1200;
+  std::size_t link_rounds = 6;      // readdir sweeps during "linking"
+  mantle::Time untar_think = 50;    // us between untar ops (tar is fast)
+  mantle::Time compile_think = 900; // compilation compute between ops
+  mantle::Time read_think = 120;
+  mantle::Time link_think = 30;     // the flash crowd hits fast
+};
+
+/// The directory list and hotspot weights of the modelled tree.
+struct CompileDirSpec {
+  const char* name;
+  double hot_weight;   // probability mass during the compile phase
+  double size_factor;  // files_per_dir multiplier
+};
+const std::vector<CompileDirSpec>& compile_tree_spec();
+
+class CompileWorkload final : public sim::Workload {
+ public:
+  explicit CompileWorkload(CompileOptions opt);
+
+  std::optional<sim::WorkOp> next(mantle::Rng& rng) override;
+  mantle::Time think_time(mantle::Rng& rng) override;
+  std::string name() const override { return "compile"; }
+
+  enum class Phase { Untar, Compile, Read, Link, Done };
+  Phase phase() const { return phase_; }
+
+ private:
+  sim::WorkOp untar_next();
+  sim::WorkOp compile_next(mantle::Rng& rng);
+  sim::WorkOp read_next();
+  sim::WorkOp link_next();
+
+  std::size_t pick_hot_dir(mantle::Rng& rng) const;
+
+  CompileOptions opt_;
+  Phase phase_ = Phase::Untar;
+
+  // Untar progress: directories then files per directory.
+  std::size_t untar_dir_ = 0;
+  std::size_t untar_file_ = 0;
+  bool root_made_ = false;
+
+  // Per-dir source file counts (filled during untar planning).
+  std::vector<std::size_t> files_in_dir_;
+  std::vector<double> hot_cdf_;
+
+  std::size_t compile_done_ = 0;
+  std::size_t objects_made_ = 0;
+  std::size_t read_done_ = 0;
+  std::size_t link_round_ = 0;
+  std::size_t link_dir_ = 0;
+};
+
+std::unique_ptr<sim::Workload> make_compile_workload(int client_id,
+                                                     CompileOptions opt = {});
+
+}  // namespace mantle::workloads

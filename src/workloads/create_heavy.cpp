@@ -1,0 +1,62 @@
+#include "workloads/create_heavy.hpp"
+
+namespace mantle::workloads {
+
+std::optional<sim::WorkOp> CreateHeavyWorkload::next(mantle::Rng& /*rng*/) {
+  if (opt_.make_dir && !mkdir_done_) {
+    mkdir_done_ = true;
+    const auto parts = mantle::mds::split_path(opt_.dir);
+    if (!parts.empty()) {
+      std::string parent = "/";
+      for (std::size_t i = 0; i + 1 < parts.size(); ++i)
+        parent += parts[i] + "/";
+      return sim::WorkOp{cluster::OpType::Mkdir, parent, parts.back()};
+    }
+  }
+  if (issued_ < opt_.num_files) {
+    sim::WorkOp op;
+    op.op = cluster::OpType::Create;
+    op.dir_path = opt_.dir;
+    op.name = opt_.name_prefix + "f" + std::to_string(issued_++);
+    return op;
+  }
+  if (opt_.unlink_after && unlinked_ < opt_.num_files) {
+    sim::WorkOp op;
+    op.op = cluster::OpType::Unlink;
+    op.dir_path = opt_.dir;
+    op.name = opt_.name_prefix + "f" + std::to_string(unlinked_++);
+    return op;
+  }
+  return std::nullopt;
+}
+
+mantle::Time CreateHeavyWorkload::think_time(mantle::Rng& rng) {
+  if (opt_.think_mean == 0) return 0;
+  return mantle::from_seconds(
+      rng.exponential(mantle::to_seconds(opt_.think_mean)));
+}
+
+std::unique_ptr<sim::Workload> make_private_create_workload(
+    int client_id, std::size_t num_files, mantle::Time think_mean) {
+  CreateHeavyWorkload::Options opt;
+  opt.dir = "/client" + std::to_string(client_id);
+  opt.make_dir = true;
+  opt.num_files = num_files;
+  opt.name_prefix = "";
+  opt.think_mean = think_mean;
+  return std::make_unique<CreateHeavyWorkload>(std::move(opt));
+}
+
+std::unique_ptr<sim::Workload> make_shared_create_workload(
+    int client_id, const std::string& shared_dir, std::size_t num_files,
+    mantle::Time think_mean) {
+  CreateHeavyWorkload::Options opt;
+  opt.dir = shared_dir;
+  opt.make_dir = true;  // first client wins; later mkdirs fail harmlessly
+  opt.num_files = num_files;
+  opt.name_prefix = "c" + std::to_string(client_id) + "_";
+  opt.think_mean = think_mean;
+  return std::make_unique<CreateHeavyWorkload>(std::move(opt));
+}
+
+}  // namespace mantle::workloads

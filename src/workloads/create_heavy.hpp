@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/workload.hpp"
+
+/// \file create_heavy.hpp
+/// The paper's primary stress workload: each client creates N files,
+/// either in a private directory ("creating 100,000 files in separate
+/// directories", Figures 4/5) or in one shared directory ("clients
+/// creating files in the same directory", Figures 7/8 — the GIGA+-style
+/// dirfrag-splitting scenario). Creates are a common HPC pattern
+/// (checkpoint/restart), which is why the paper leads with them.
+
+namespace mantle::workloads {
+
+class CreateHeavyWorkload final : public sim::Workload {
+ public:
+  struct Options {
+    std::string dir = "/shared";   // target directory
+    bool make_dir = true;          // issue a Mkdir first (idempotent-ish:
+                                   // duplicates fail harmlessly)
+    std::size_t num_files = 100000;
+    std::string name_prefix;       // must be client-unique for shared dirs
+    mantle::Time think_mean = 350; // client-side gap between creates (us)
+    bool unlink_after = false;     // delete everything again (checkpoint
+                                   // cleanup; drives dirfrag merging)
+  };
+
+  explicit CreateHeavyWorkload(Options opt) : opt_(std::move(opt)) {}
+
+  std::optional<sim::WorkOp> next(mantle::Rng& rng) override;
+  mantle::Time think_time(mantle::Rng& rng) override;
+  std::string name() const override { return "create-heavy"; }
+
+ private:
+  Options opt_;
+  bool mkdir_done_ = false;
+  std::size_t issued_ = 0;
+  std::size_t unlinked_ = 0;
+};
+
+/// Convenience factory for the standard per-client private-dir variant.
+std::unique_ptr<sim::Workload> make_private_create_workload(
+    int client_id, std::size_t num_files, mantle::Time think_mean = 350);
+
+/// Convenience factory for the shared-dir variant.
+std::unique_ptr<sim::Workload> make_shared_create_workload(
+    int client_id, const std::string& shared_dir, std::size_t num_files,
+    mantle::Time think_mean = 350);
+
+}  // namespace mantle::workloads

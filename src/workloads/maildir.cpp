@@ -1,0 +1,64 @@
+#include "workloads/maildir.hpp"
+
+namespace mantle::workloads {
+
+std::optional<sim::WorkOp> MaildirWorkload::next(mantle::Rng& /*rng*/) {
+  switch (setup_) {
+    case Setup::Root: {
+      setup_ = Setup::Tmp;
+      const auto parts = mantle::mds::split_path(opt_.root);
+      std::string parent = "/";
+      for (std::size_t i = 0; i + 1 < parts.size(); ++i) parent += parts[i] + "/";
+      return sim::WorkOp{cluster::OpType::Mkdir, parent, parts.back()};
+    }
+    case Setup::Tmp:
+      setup_ = Setup::New;
+      return sim::WorkOp{cluster::OpType::Mkdir, opt_.root, "tmp"};
+    case Setup::New:
+      setup_ = Setup::Done;
+      return sim::WorkOp{cluster::OpType::Mkdir, opt_.root, "new"};
+    case Setup::Done:
+      break;
+  }
+
+  if (readdir_pending_) {
+    readdir_pending_ = false;
+    return sim::WorkOp{cluster::OpType::Readdir, opt_.root + "/new", ""};
+  }
+  if (delivered_ >= opt_.num_messages) return std::nullopt;
+
+  const std::string msg = "msg" + std::to_string(delivered_);
+  if (msg_step_ == 0) {
+    msg_step_ = 1;
+    return sim::WorkOp{cluster::OpType::Create, opt_.root + "/tmp", msg};
+  }
+  msg_step_ = 0;
+  ++delivered_;
+  if (opt_.readdir_every != 0 && delivered_ % opt_.readdir_every == 0)
+    readdir_pending_ = true;
+  sim::WorkOp op;
+  op.op = cluster::OpType::Rename;
+  op.dir_path = opt_.root + "/tmp";
+  op.name = msg;
+  op.dst_dir_path = opt_.root + "/new";
+  op.dst_name = msg;
+  return op;
+}
+
+mantle::Time MaildirWorkload::think_time(mantle::Rng& rng) {
+  if (opt_.think_mean == 0) return 0;
+  return mantle::from_seconds(
+      rng.exponential(mantle::to_seconds(opt_.think_mean)));
+}
+
+std::unique_ptr<sim::Workload> make_maildir_workload(int client_id,
+                                                     std::size_t num_messages,
+                                                     mantle::Time think_mean) {
+  MaildirWorkload::Options opt;
+  opt.root = "/mail" + std::to_string(client_id);
+  opt.num_messages = num_messages;
+  opt.think_mean = think_mean;
+  return std::make_unique<MaildirWorkload>(std::move(opt));
+}
+
+}  // namespace mantle::workloads

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/workload.hpp"
+
+/// \file maildir.hpp
+/// Maildir-style delivery: every message is created in `tmp/` and then
+/// atomically renamed into `new/` — the classic rename-heavy metadata
+/// workload (mail spools, log rotation, atomic-publish pipelines).
+/// Renames are the third migration-relevant operation in CephFS (client
+/// sessions are flushed when slave MDS nodes rename directories), so
+/// this workload stresses a path the create benchmarks never touch.
+
+namespace mantle::workloads {
+
+class MaildirWorkload final : public sim::Workload {
+ public:
+  struct Options {
+    std::string root = "/mail";     // per-client spool root
+    std::size_t num_messages = 10000;
+    std::size_t readdir_every = 64; // scan new/ after this many deliveries
+    mantle::Time think_mean = 200;
+  };
+
+  explicit MaildirWorkload(Options opt) : opt_(std::move(opt)) {}
+
+  std::optional<sim::WorkOp> next(mantle::Rng& rng) override;
+  mantle::Time think_time(mantle::Rng& rng) override;
+  std::string name() const override { return "maildir"; }
+
+ private:
+  enum class Setup { Root, Tmp, New, Done };
+
+  Options opt_;
+  Setup setup_ = Setup::Root;
+  std::size_t delivered_ = 0;
+  // Per-message micro state machine: 0 = create in tmp, 1 = rename to new.
+  int msg_step_ = 0;
+  bool readdir_pending_ = false;
+};
+
+std::unique_ptr<sim::Workload> make_maildir_workload(
+    int client_id, std::size_t num_messages, mantle::Time think_mean = 200);
+
+}  // namespace mantle::workloads

@@ -1,0 +1,82 @@
+#include "workloads/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mantle::workloads {
+
+namespace {
+
+cluster::OpType op_from_name(const std::string& s) {
+  if (s == "create") return cluster::OpType::Create;
+  if (s == "mkdir") return cluster::OpType::Mkdir;
+  if (s == "getattr") return cluster::OpType::Getattr;
+  if (s == "lookup") return cluster::OpType::Lookup;
+  if (s == "readdir") return cluster::OpType::Readdir;
+  if (s == "unlink") return cluster::OpType::Unlink;
+  if (s == "rename") return cluster::OpType::Rename;
+  throw std::runtime_error("unknown trace op: " + s);
+}
+
+}  // namespace
+
+std::string format_trace(const std::vector<sim::WorkOp>& ops) {
+  std::string out;
+  for (const sim::WorkOp& op : ops) {
+    out += cluster::op_name(op.op);
+    out += ' ';
+    out += op.dir_path;
+    if (!op.name.empty()) {
+      out += ' ';
+      out += op.name;
+    }
+    if (op.op == cluster::OpType::Rename) {
+      out += ' ';
+      out += op.dst_dir_path;
+      out += ' ';
+      out += op.dst_name;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<sim::WorkOp> parse_trace(const std::string& text) {
+  std::vector<sim::WorkOp> out;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string op;
+    std::string dir;
+    std::string name;
+    if (!(ls >> op >> dir))
+      throw std::runtime_error("trace line " + std::to_string(lineno) +
+                               ": expected '<op> <dir> [<name>]'");
+    ls >> name;  // optional
+    sim::WorkOp wop{op_from_name(op), dir, name};
+    if (wop.op == cluster::OpType::Rename) {
+      if (!(ls >> wop.dst_dir_path >> wop.dst_name))
+        throw std::runtime_error("trace line " + std::to_string(lineno) +
+                                 ": rename needs <src_dir> <src_name> <dst_dir> <dst_name>");
+    }
+    out.push_back(std::move(wop));
+  }
+  return out;
+}
+
+std::vector<sim::WorkOp> record_workload(sim::Workload& wl, mantle::Rng& rng,
+                                         std::size_t max_ops) {
+  std::vector<sim::WorkOp> out;
+  while (out.size() < max_ops) {
+    auto op = wl.next(rng);
+    if (!op) break;
+    out.push_back(std::move(*op));
+  }
+  return out;
+}
+
+}  // namespace mantle::workloads

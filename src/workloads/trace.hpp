@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+/// \file trace.hpp
+/// Record/replay workloads: a trace is a flat list of operations with an
+/// optional fixed think time. Traces serialize to a simple line format
+/// ("<op> <dir_path> [<name>]") so experiments can be captured once and
+/// replayed against different balancers — the "suite of workloads over
+/// different balancers" the paper lists as immediate future work.
+
+namespace mantle::workloads {
+
+class TraceWorkload final : public sim::Workload {
+ public:
+  explicit TraceWorkload(std::vector<sim::WorkOp> ops,
+                         mantle::Time think = 0)
+      : ops_(std::move(ops)), think_(think) {}
+
+  std::optional<sim::WorkOp> next(mantle::Rng& rng) override {
+    (void)rng;
+    if (pos_ >= ops_.size()) return std::nullopt;
+    return ops_[pos_++];
+  }
+
+  mantle::Time think_time(mantle::Rng& rng) override {
+    (void)rng;
+    return think_;
+  }
+
+  std::string name() const override { return "trace"; }
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<sim::WorkOp> ops_;
+  mantle::Time think_;
+  std::size_t pos_ = 0;
+};
+
+/// Serialize a trace to the line format. Inverse of parse_trace.
+std::string format_trace(const std::vector<sim::WorkOp>& ops);
+
+/// Parse the line format; throws std::runtime_error on malformed lines.
+std::vector<sim::WorkOp> parse_trace(const std::string& text);
+
+/// Capture every op another workload yields (drains it) so it can be
+/// replayed deterministically.
+std::vector<sim::WorkOp> record_workload(sim::Workload& wl, mantle::Rng& rng,
+                                         std::size_t max_ops = 1 << 22);
+
+}  // namespace mantle::workloads

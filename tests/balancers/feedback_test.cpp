@@ -1,0 +1,107 @@
+#include "balancers/feedback.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mantle::balancers {
+namespace {
+
+cluster::ClusterView view_of(int whoami, std::vector<double> loads) {
+  cluster::ClusterView v;
+  v.whoami = whoami;
+  v.mdss.resize(loads.size());
+  v.loads = loads;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    v.mdss[i].rank = static_cast<int>(i);
+    v.mdss[i].all_metaload = loads[i];
+    v.total_load += loads[i];
+  }
+  return v;
+}
+
+TEST(Feedback, QuietWhenBalanced) {
+  FeedbackBalancer b;
+  EXPECT_FALSE(b.when(view_of(0, {25, 25, 25, 25})));
+  EXPECT_DOUBLE_EQ(b.last_output(), 0.0);
+}
+
+TEST(Feedback, QuietWhenUnderloaded) {
+  FeedbackBalancer b;
+  EXPECT_FALSE(b.when(view_of(1, {90, 5, 5})));
+}
+
+TEST(Feedback, FiresWhenOverloaded) {
+  FeedbackBalancer b;
+  const auto v = view_of(0, {90, 5, 5});
+  ASSERT_TRUE(b.when(v));
+  EXPECT_GT(b.last_output(), 0.0);
+  const auto t = b.where(v);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_GT(t[1], 0.0);
+  EXPECT_GT(t[2], 0.0);
+  EXPECT_NEAR(t[1], t[2], 1e-9);  // equal deficits -> equal shares
+  // Never asks to ship more than its own load.
+  EXPECT_LE(t[1] + t[2], 90.0);
+}
+
+TEST(Feedback, OutputShrinksAsBalanceApproaches) {
+  FeedbackBalancer b;
+  ASSERT_TRUE(b.when(view_of(0, {90, 5, 5})));
+  const double big = b.last_output();
+  // Cluster is now much closer to balance.
+  ASSERT_TRUE(b.when(view_of(0, {50, 25, 25})));
+  const double small = b.last_output();
+  EXPECT_LT(small, big);
+}
+
+TEST(Feedback, IntegralAccumulatesUnderPersistentError) {
+  FeedbackBalancer::Options opt;
+  opt.ewma_alpha = 1.0;  // no smoothing: isolate the integral term
+  FeedbackBalancer b(opt);
+  const auto v = view_of(0, {60, 20, 20});
+  ASSERT_TRUE(b.when(v));
+  const double first = b.last_output();
+  ASSERT_TRUE(b.when(v));
+  const double second = b.last_output();
+  EXPECT_GT(second, first);  // integral winding up
+  EXPECT_LE(b.integral(), 1.0);
+}
+
+TEST(Feedback, IntegralBleedsInsideDeadband) {
+  FeedbackBalancer::Options opt;
+  opt.ewma_alpha = 1.0;
+  FeedbackBalancer b(opt);
+  b.when(view_of(0, {60, 20, 20}));
+  b.when(view_of(0, {60, 20, 20}));
+  const double wound = b.integral();
+  ASSERT_GT(wound, 0.0);
+  b.when(view_of(0, {34, 33, 33}));  // inside the deadband
+  EXPECT_LT(b.integral(), wound);
+}
+
+TEST(Feedback, EwmaDampsSingleSampleSpikes) {
+  FeedbackBalancer::Options opt;
+  opt.ewma_alpha = 0.2;  // heavy smoothing
+  FeedbackBalancer damped(opt);
+  FeedbackBalancer raw(FeedbackBalancer::Options{.kp = 0.6,
+                                                 .ki = 0.15,
+                                                 .deadband = 0.05,
+                                                 .ewma_alpha = 1.0,
+                                                 .integral_cap = 1.0});
+  // Long balanced history, then one spiky sample.
+  for (int i = 0; i < 10; ++i) {
+    damped.when(view_of(0, {34, 33, 33}));
+    raw.when(view_of(0, {34, 33, 33}));
+  }
+  const auto spike = view_of(0, {70, 15, 15});
+  raw.when(spike);
+  damped.when(spike);
+  EXPECT_LT(damped.last_output(), raw.last_output());
+}
+
+TEST(Feedback, SingleMdsNeverFires) {
+  FeedbackBalancer b;
+  EXPECT_FALSE(b.when(view_of(0, {100})));
+}
+
+}  // namespace
+}  // namespace mantle::balancers

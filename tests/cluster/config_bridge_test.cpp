@@ -1,0 +1,72 @@
+#include "cluster/config_bridge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mantle::cluster {
+namespace {
+
+TEST(ConfigBridge, DefaultsPassThrough) {
+  const ClusterConfig base;
+  const mantle::Config empty;
+  const ClusterConfig out = apply_config(base, empty);
+  EXPECT_EQ(out.split_size, base.split_size);
+  EXPECT_EQ(out.bal_interval, base.bal_interval);
+  EXPECT_EQ(out.num_mds, base.num_mds);
+}
+
+TEST(ConfigBridge, CephVocabularyKeys) {
+  mantle::Config cfg;
+  cfg.inject_args(
+      "mds_bal_interval=5 mds_bal_split_size=10000 mds_bal_fragment_bits=4 "
+      "mds_bal_need_min=0.8 mds_bal_merge_size=10");
+  const ClusterConfig out = apply_config(ClusterConfig{}, cfg);
+  EXPECT_EQ(out.bal_interval, 5 * kSec);  // seconds, like CephFS
+  EXPECT_EQ(out.split_size, 10000u);
+  EXPECT_EQ(out.split_bits, 4);
+  EXPECT_DOUBLE_EQ(out.need_min_factor, 0.8);
+  EXPECT_EQ(out.merge_size, 10u);
+}
+
+TEST(ConfigBridge, SimKeys) {
+  mantle::Config cfg;
+  cfg.inject_args(
+      "sim_num_mds=5 sim_seed=99 sim_net_latency_us=250 sim_svc_create_us=300 "
+      "sim_cpu_noise_pct=12.5 sim_session_flush_stall_us=5000");
+  const ClusterConfig out = apply_config(ClusterConfig{}, cfg);
+  EXPECT_EQ(out.num_mds, 5);
+  EXPECT_EQ(out.seed, 99u);
+  EXPECT_EQ(out.net_latency, 250u);
+  EXPECT_EQ(out.svc_create, 300u);
+  EXPECT_DOUBLE_EQ(out.cpu_noise_pct, 12.5);
+  EXPECT_EQ(out.session_flush_stall, 5000u);
+}
+
+TEST(ConfigBridge, FractionalBalInterval) {
+  mantle::Config cfg;
+  cfg.set("mds_bal_interval", "0.5");
+  EXPECT_EQ(apply_config(ClusterConfig{}, cfg).bal_interval, 500 * kMsec);
+}
+
+TEST(ConfigBridge, UnknownKeysReported) {
+  mantle::Config cfg;
+  cfg.inject_args("mds_bal_split_size=1 mds_bal_metaload=IWR typo_key=3");
+  const auto unknown = unknown_config_keys(cfg);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo_key");
+}
+
+TEST(ConfigBridge, PolicyHooksAreNotUnknown) {
+  mantle::Config cfg;
+  cfg.inject_args("mds_bal_when=x mds_bal_where=y mds_bal_howmuch=z");
+  EXPECT_TRUE(unknown_config_keys(cfg).empty());
+}
+
+TEST(ConfigBridge, UnparsableValuesKeepDefaults) {
+  mantle::Config cfg;
+  cfg.set("mds_bal_split_size", "banana");
+  const ClusterConfig out = apply_config(ClusterConfig{}, cfg);
+  EXPECT_EQ(out.split_size, ClusterConfig{}.split_size);
+}
+
+}  // namespace
+}  // namespace mantle::cluster

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "balancers/builtin.hpp"
+#include "cluster/cluster.hpp"
+
+/// Tests for the namespace-partitioning mechanism: export-candidate
+/// gathering with drill-down ("subtrees are divided and migrated only if
+/// their ancestors are too popular to migrate", §3.2).
+
+namespace mantle::cluster {
+namespace {
+
+using mantle::mds::frag_t;
+using mantle::mds::InodeId;
+using mantle::mds::MetaOp;
+
+struct Harness {
+  sim::Engine engine;
+  MdsCluster cluster;
+  balancers::AdaptableBalancer policy;  // metaload = IWR + IRD
+
+  explicit Harness(int num_mds = 2) : cluster(engine, [&] {
+    ClusterConfig cfg;
+    cfg.num_mds = num_mds;
+    return cfg;
+  }()) {
+    cluster.set_reply_handler([](const Reply&) {});
+  }
+
+  InodeId mkdir(InodeId parent, const std::string& name) {
+    return cluster.ns().mkdir(parent, name, engine.now());
+  }
+
+  void heat(InodeId dir, const std::string& name, int hits) {
+    const auto id = cluster.ns().frag_of(dir, name);
+    for (int i = 0; i < hits; ++i)
+      cluster.ns().record_op(id, MetaOp::IWR, engine.now());
+  }
+};
+
+TEST(Gather, RootAloneWhenCold) {
+  Harness h;
+  const auto pool = h.cluster.gather_candidates(0, 100.0, h.policy, 0);
+  // Nothing hot and nothing below the root: pool is empty or negligible.
+  double total = 0.0;
+  for (const auto& c : pool) total += c.load;
+  EXPECT_DOUBLE_EQ(total, 0.0);
+}
+
+TEST(Gather, DrillsIntoHotRoot) {
+  Harness h;
+  const InodeId a = h.mkdir(h.cluster.ns().root(), "a");
+  const InodeId b = h.mkdir(h.cluster.ns().root(), "b");
+  h.cluster.ns().create(a, "fa", 0);
+  h.cluster.ns().create(b, "fb", 0);
+  h.heat(a, "fa", 60);
+  h.heat(b, "fb", 40);
+
+  // Target 50 out of ~100 total: the root (load ~100) is too big to ship
+  // whole, so the pool must contain the child subtrees instead.
+  const auto pool = h.cluster.gather_candidates(0, 50.0, h.policy, h.engine.now());
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool[0].frag.ino, a);  // sorted by descending load
+  EXPECT_EQ(pool[1].frag.ino, b);
+  EXPECT_NEAR(pool[0].load, 60.0, 1.0);
+  EXPECT_NEAR(pool[1].load, 40.0, 1.0);
+  EXPECT_EQ(pool[0].entries, 1u);
+}
+
+TEST(Gather, KeepsWholeSubtreeWhenItFitsTheTarget) {
+  Harness h;
+  const InodeId a = h.mkdir(h.cluster.ns().root(), "a");
+  const InodeId deep = h.mkdir(a, "deep");
+  h.cluster.ns().create(deep, "f", 0);
+  h.heat(deep, "f", 30);
+  const InodeId b = h.mkdir(h.cluster.ns().root(), "b");
+  h.cluster.ns().create(b, "g", 0);
+  h.heat(b, "g", 25);
+
+  // Root load ~55 exceeds the target (35) and drills; both children fit
+  // whole, so /a is offered as one candidate with its nested subtree —
+  // no needless descent into /a/deep.
+  const auto pool = h.cluster.gather_candidates(0, 35.0, h.policy, h.engine.now());
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool[0].frag.ino, a);
+  EXPECT_NEAR(pool[0].load, 30.0, 1.0);
+  EXPECT_EQ(pool[0].entries, 2u);  // "deep" + "f"
+  EXPECT_EQ(pool[1].frag.ino, b);
+}
+
+TEST(Gather, HotFlatDirectoryIsExportableAsIs) {
+  Harness h;
+  const InodeId hot = h.mkdir(h.cluster.ns().root(), "hot");
+  for (int i = 0; i < 20; ++i) {
+    h.cluster.ns().create(hot, "f" + std::to_string(i), 0);
+    h.heat(hot, "f" + std::to_string(i), 10);
+  }
+  // Target far below the flat directory's load: nothing to drill into
+  // (no subdirectories), so the dirfrag itself stays in the pool.
+  const auto pool = h.cluster.gather_candidates(0, 10.0, h.policy, h.engine.now());
+  ASSERT_FALSE(pool.empty());
+  EXPECT_EQ(pool[0].frag.ino, hot);
+  EXPECT_NEAR(pool[0].load, 200.0, 2.0);
+}
+
+TEST(Gather, SkipsFrozenSubtrees) {
+  Harness h;
+  const InodeId a = h.mkdir(h.cluster.ns().root(), "a");
+  const InodeId b = h.mkdir(h.cluster.ns().root(), "b");
+  h.cluster.ns().create(a, "fa", 0);
+  h.cluster.ns().create(b, "fb", 0);
+  h.heat(a, "fa", 50);
+  h.heat(b, "fb", 50);
+  // Freeze /a by starting its migration.
+  ASSERT_TRUE(h.cluster.export_subtree({a, frag_t()}, 1));
+  const auto pool = h.cluster.gather_candidates(0, 40.0, h.policy, h.engine.now());
+  for (const auto& c : pool) EXPECT_NE(c.frag.ino, a);
+}
+
+TEST(Gather, ExcludesForeignSubtrees) {
+  Harness h;
+  const InodeId a = h.mkdir(h.cluster.ns().root(), "a");
+  const InodeId b = h.mkdir(h.cluster.ns().root(), "b");
+  h.cluster.ns().create(a, "fa", 0);
+  h.cluster.ns().create(b, "fb", 0);
+  ASSERT_TRUE(h.cluster.export_subtree({b, frag_t()}, 1));
+  h.engine.run();
+  h.heat(a, "fa", 50);
+  h.heat(b, "fb", 50);
+  // Rank 0's candidates never include rank 1's subtree /b.
+  const auto pool = h.cluster.gather_candidates(0, 40.0, h.policy, h.engine.now());
+  for (const auto& c : pool) EXPECT_NE(c.frag.ino, b);
+  // And rank 1's pool is exactly /b.
+  const auto pool1 = h.cluster.gather_candidates(1, 40.0, h.policy, h.engine.now());
+  ASSERT_FALSE(pool1.empty());
+  EXPECT_EQ(pool1[0].frag.ino, b);
+}
+
+TEST(Gather, DrillDepthIsBounded) {
+  Harness h;
+  // A pathological 12-deep chain of hot directories.
+  InodeId cur = h.cluster.ns().root();
+  for (int i = 0; i < 12; ++i) cur = h.mkdir(cur, "lvl" + std::to_string(i));
+  h.cluster.ns().create(cur, "leaf", 0);
+  h.heat(cur, "leaf", 100);
+  // Tiny target forces drilling at every level; the bound stops it.
+  const auto pool = h.cluster.gather_candidates(0, 0.5, h.policy, h.engine.now());
+  ASSERT_FALSE(pool.empty());  // bounded drill still yields candidates
+}
+
+}  // namespace
+}  // namespace mantle::cluster

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/scenario.hpp"
+#include "workloads/create_heavy.hpp"
+
+namespace mantle::cluster {
+namespace {
+
+using mantle::mds::frag_t;
+using mantle::mds::InodeId;
+
+struct Harness {
+  sim::Engine engine;
+  MdsCluster cluster;
+
+  explicit Harness(int num_mds, ClusterConfig cfg = {})
+      : cluster(engine, [&] {
+          cfg.num_mds = num_mds;
+          return cfg;
+        }()) {
+    cluster.set_reply_handler([](const Reply&) {});
+  }
+
+  InodeId mkdir(InodeId parent, const std::string& name) {
+    return cluster.ns().mkdir(parent, name, engine.now());
+  }
+};
+
+TEST(Merge, SmallFragmentedDirMergesBack) {
+  ClusterConfig cfg;
+  cfg.merge_size = 50;
+  Harness h(1, cfg);
+  const InodeId d = h.mkdir(h.cluster.ns().root(), "d");
+  for (int i = 0; i < 10; ++i) h.cluster.ns().create(d, "f" + std::to_string(i), 0);
+  h.cluster.ns().split({d, frag_t()}, 3, 0);
+  ASSERT_EQ(h.cluster.ns().dir(d)->frags.size(), 8u);
+  EXPECT_TRUE(h.cluster.maybe_merge(d));
+  EXPECT_EQ(h.cluster.ns().dir(d)->frags.size(), 1u);
+  EXPECT_EQ(h.cluster.ns().dir(d)->num_entries(), 10u);
+}
+
+TEST(Merge, RefusesAboveThreshold) {
+  ClusterConfig cfg;
+  cfg.merge_size = 5;
+  Harness h(1, cfg);
+  const InodeId d = h.mkdir(h.cluster.ns().root(), "d");
+  for (int i = 0; i < 10; ++i) h.cluster.ns().create(d, "f" + std::to_string(i), 0);
+  h.cluster.ns().split({d, frag_t()}, 2, 0);
+  EXPECT_FALSE(h.cluster.maybe_merge(d));
+  EXPECT_EQ(h.cluster.ns().dir(d)->frags.size(), 4u);
+}
+
+TEST(Merge, RefusesAcrossAuthBoundary) {
+  Harness h(2);
+  const InodeId d = h.mkdir(h.cluster.ns().root(), "d");
+  h.cluster.ns().split({d, frag_t()}, 1, 0);
+  std::vector<frag_t> fs;
+  for (const auto& [f, df] : h.cluster.ns().dir(d)->frags) fs.push_back(f);
+  ASSERT_TRUE(h.cluster.export_subtree({d, fs[0]}, 1));
+  h.engine.run();
+  // Fragments now owned by different ranks: merging is impossible.
+  EXPECT_FALSE(h.cluster.maybe_merge(d));
+}
+
+TEST(Merge, CollapsesSubtreeRootEntries) {
+  Harness h(2);
+  const InodeId d = h.mkdir(h.cluster.ns().root(), "d");
+  h.cluster.ns().split({d, frag_t()}, 1, 0);
+  std::vector<frag_t> fs;
+  for (const auto& [f, df] : h.cluster.ns().dir(d)->frags) fs.push_back(f);
+  ASSERT_TRUE(h.cluster.export_subtree({d, fs[0]}, 1));
+  h.engine.run();
+  ASSERT_TRUE(h.cluster.export_subtree({d, fs[1]}, 1));
+  h.engine.run();
+  // Both fragments are separate subtree roots owned by rank 1.
+  EXPECT_EQ(h.cluster.roots_of(1).size(), 2u);
+  ASSERT_TRUE(h.cluster.maybe_merge(d));
+  // The two roots collapse into one covering the whole directory.
+  const auto roots = h.cluster.roots_of(1);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], (mantle::mds::DirFragId{d, frag_t()}));
+  EXPECT_EQ(h.cluster.auth_of({d, frag_t()}), 1);
+}
+
+TEST(Merge, SingleFragmentIsNoOp) {
+  Harness h(1);
+  const InodeId d = h.mkdir(h.cluster.ns().root(), "d");
+  EXPECT_FALSE(h.cluster.maybe_merge(d));
+}
+
+TEST(Merge, CreateDeleteCycleMergesViaUnlinkPath) {
+  // End to end: a create storm fragments the directory; deleting
+  // everything merges it back through the Unlink completion hook.
+  sim::ScenarioConfig cfg;
+  cfg.cluster.num_mds = 1;
+  cfg.cluster.split_size = 200;
+  cfg.cluster.merge_size = 60;
+  sim::Scenario s(cfg);
+  workloads::CreateHeavyWorkload::Options opt;
+  opt.dir = "/spool";
+  opt.num_files = 500;
+  opt.think_mean = 20;
+  opt.unlink_after = true;
+  s.add_client(std::make_unique<workloads::CreateHeavyWorkload>(opt));
+  s.run();
+  const auto res = s.cluster().ns().resolve("/spool");
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(s.cluster().ns().dir(res.ino)->num_entries(), 0u);
+  EXPECT_EQ(s.cluster().ns().dir(res.ino)->frags.size(), 1u)
+      << "fragments should have merged back as the dir emptied";
+  EXPECT_EQ(s.client(0).ops_failed(), 0u);
+}
+
+}  // namespace
+}  // namespace mantle::cluster

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "mds/namespace.hpp"
+
+namespace mantle::cluster {
+namespace {
+
+using mantle::mds::frag_t;
+using mantle::mds::InodeId;
+using mantle::mds::kNoInode;
+using mantle::mds::Namespace;
+
+// -- mechanism level ---------------------------------------------------------
+
+TEST(NamespaceRename, FileWithinDirectory) {
+  Namespace ns;
+  const InodeId d = ns.mkdir(ns.root(), "d", 0);
+  const InodeId f = ns.create(d, "old", 0);
+  ASSERT_TRUE(ns.rename(d, "old", d, "new"));
+  EXPECT_EQ(ns.lookup(d, "old"), kNoInode);
+  EXPECT_EQ(ns.lookup(d, "new"), f);
+  EXPECT_EQ(ns.path_of(f), "/d/new");
+}
+
+TEST(NamespaceRename, FileAcrossDirectories) {
+  Namespace ns;
+  const InodeId a = ns.mkdir(ns.root(), "a", 0);
+  const InodeId b = ns.mkdir(ns.root(), "b", 0);
+  const InodeId f = ns.create(a, "file", 0);
+  ASSERT_TRUE(ns.rename(a, "file", b, "file"));
+  EXPECT_EQ(ns.lookup(a, "file"), kNoInode);
+  EXPECT_EQ(ns.lookup(b, "file"), f);
+  EXPECT_EQ(ns.inode(f)->parent, b);
+}
+
+TEST(NamespaceRename, DirectoryMovesWholeSubtree) {
+  Namespace ns;
+  const InodeId a = ns.mkdir(ns.root(), "a", 0);
+  const InodeId b = ns.mkdir(ns.root(), "b", 0);
+  const InodeId sub = ns.mkdir(a, "sub", 0);
+  const InodeId f = ns.create(sub, "f", 0);
+  ASSERT_TRUE(ns.rename(a, "sub", b, "moved"));
+  EXPECT_EQ(ns.path_of(f), "/b/moved/f");
+  EXPECT_TRUE(ns.resolve("/b/moved/f").found);
+  EXPECT_FALSE(ns.resolve("/a/sub").found);
+  // subtree_dirs bookkeeping followed the move.
+  const auto under_b = ns.subtree_dirs(b);
+  EXPECT_NE(std::find(under_b.begin(), under_b.end(), sub), under_b.end());
+  const auto under_a = ns.subtree_dirs(a);
+  EXPECT_EQ(std::find(under_a.begin(), under_a.end(), sub), under_a.end());
+}
+
+TEST(NamespaceRename, Failures) {
+  Namespace ns;
+  const InodeId a = ns.mkdir(ns.root(), "a", 0);
+  const InodeId b = ns.mkdir(a, "b", 0);
+  ns.create(a, "exists", 0);
+  EXPECT_FALSE(ns.rename(a, "missing", a, "x"));        // no source
+  EXPECT_FALSE(ns.rename(a, "b", a, "exists"));         // dst taken
+  EXPECT_FALSE(ns.rename(a, "b", 424242, "x"));         // bad dst dir
+  EXPECT_FALSE(ns.rename(ns.root(), "a", b, "loop"));   // cycle: a into a/b
+  EXPECT_FALSE(ns.rename(ns.root(), "a", a, "self"));   // dir into itself
+  EXPECT_TRUE(ns.resolve("/a/b").found);                // nothing changed
+}
+
+// -- cluster level -------------------------------------------------------------
+
+struct Harness {
+  sim::Engine engine;
+  MdsCluster cluster;
+  std::vector<Reply> replies;
+
+  explicit Harness(int num_mds, ClusterConfig cfg = {})
+      : cluster(engine, [&] {
+          cfg.num_mds = num_mds;
+          return cfg;
+        }()) {
+    cluster.set_reply_handler([this](const Reply& r) { replies.push_back(r); });
+  }
+
+  Reply rename(InodeId src, const std::string& sname, InodeId dst,
+               const std::string& dname, int client = 0) {
+    static std::uint64_t next_id = 900000;
+    Request r;
+    r.id = next_id++;
+    r.client = client;
+    r.op = OpType::Rename;
+    r.dir = src;
+    r.name = sname;
+    r.dst_dir = dst;
+    r.dst_name = dname;
+    r.issued_at = engine.now();
+    cluster.client_submit(std::move(r), 0);
+    engine.run();
+    return replies.back();
+  }
+
+  Reply do_op(OpType op, InodeId dir, const std::string& name, int client = 0) {
+    static std::uint64_t next_id = 1;
+    Request r;
+    r.id = next_id++;
+    r.client = client;
+    r.op = op;
+    r.dir = dir;
+    r.name = name;
+    r.issued_at = engine.now();
+    cluster.client_submit(std::move(r), 0);
+    engine.run();
+    return replies.back();
+  }
+};
+
+TEST(ClusterRename, LocalRenameSucceeds) {
+  Harness h(1);
+  const InodeId d = h.do_op(OpType::Mkdir, h.cluster.ns().root(), "d").result_ino;
+  h.do_op(OpType::Create, d, "f");
+  const Reply r = h.rename(d, "f", d, "g");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(h.cluster.ns().lookup(d, "g"), r.result_ino);
+  EXPECT_EQ(h.cluster.total_sessions_flushed(), 0u);  // files don't flush
+}
+
+TEST(ClusterRename, CrossAuthDirectoryRenameFlushesSessions) {
+  Harness h(2);
+  const InodeId a = h.do_op(OpType::Mkdir, h.cluster.ns().root(), "a").result_ino;
+  const InodeId b = h.do_op(OpType::Mkdir, h.cluster.ns().root(), "b").result_ino;
+  const InodeId sub = h.do_op(OpType::Mkdir, a, "sub", /*client=*/1).result_ino;
+  // Move /b to mds1 so the rename destination is foreign.
+  ASSERT_TRUE(h.cluster.export_subtree({b, frag_t()}, 1));
+  h.engine.run();
+  ASSERT_EQ(h.cluster.total_sessions_flushed(), 2u);  // from the migration
+
+  const Reply r = h.rename(a, "sub", b, "sub");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(h.cluster.ns().inode(sub)->parent, b);
+  // The slave rename of a *directory* flushed the sessions again.
+  EXPECT_GT(h.cluster.total_sessions_flushed(), 2u);
+  // And the moved subtree followed its new parent's authority.
+  EXPECT_EQ(h.cluster.auth_of({sub, frag_t()}), 1);
+}
+
+TEST(ClusterRename, CrossAuthRenameCostsMoreThanLocal) {
+  ClusterConfig cfg;
+  cfg.svc_jitter = 0.0;
+  Harness h(2, cfg);
+  const InodeId a = h.do_op(OpType::Mkdir, h.cluster.ns().root(), "a").result_ino;
+  const InodeId b = h.do_op(OpType::Mkdir, h.cluster.ns().root(), "b").result_ino;
+  h.do_op(OpType::Create, a, "f1");
+  h.do_op(OpType::Create, a, "f2");
+
+  const Reply local = h.rename(a, "f1", a, "f1x");
+  ASSERT_TRUE(h.cluster.export_subtree({b, frag_t()}, 1));
+  h.engine.run();
+  const Reply remote = h.rename(a, "f2", b, "f2x");
+  ASSERT_TRUE(local.ok);
+  ASSERT_TRUE(remote.ok);
+  EXPECT_GT(remote.finished_at - remote.issued_at,
+            local.finished_at - local.issued_at);
+}
+
+TEST(ClusterRename, FailedRenameReportsError) {
+  Harness h(1);
+  const InodeId d = h.do_op(OpType::Mkdir, h.cluster.ns().root(), "d").result_ino;
+  h.do_op(OpType::Create, d, "f");
+  h.do_op(OpType::Create, d, "g");
+  const Reply r = h.rename(d, "f", d, "g");  // destination exists
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(h.cluster.ns().lookup(d, "f"), kNoInode);
+}
+
+}  // namespace
+}  // namespace mantle::cluster

@@ -1,0 +1,71 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mantle {
+namespace {
+
+TEST(Config, GetWithDefault) {
+  Config c;
+  EXPECT_EQ(c.get("missing", "fallback"), "fallback");
+  c.set("k", "v");
+  EXPECT_EQ(c.get("k", "fallback"), "v");
+  EXPECT_TRUE(c.contains("k"));
+  EXPECT_FALSE(c.contains("missing"));
+}
+
+TEST(Config, TypedAccessors) {
+  Config c;
+  c.set_double("d", 2.5);
+  c.set_int("i", -7);
+  c.set_bool("b", true);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0.0), 2.5);
+  EXPECT_EQ(c.get_int("i", 0), -7);
+  EXPECT_TRUE(c.get_bool("b", false));
+}
+
+TEST(Config, UnparsableFallsBackToDefault) {
+  Config c;
+  c.set("d", "not-a-number");
+  EXPECT_DOUBLE_EQ(c.get_double("d", 1.25), 1.25);
+  EXPECT_EQ(c.get_int("d", 9), 9);
+  EXPECT_TRUE(c.get_bool("d", true));
+}
+
+TEST(Config, BoolSpellings) {
+  Config c;
+  for (const char* t : {"true", "1", "yes", "on"}) {
+    c.set("k", t);
+    EXPECT_TRUE(c.get_bool("k", false)) << t;
+  }
+  for (const char* f : {"false", "0", "no", "off"}) {
+    c.set("k", f);
+    EXPECT_FALSE(c.get_bool("k", true)) << f;
+  }
+}
+
+TEST(Config, InjectArgsParsesPairs) {
+  Config c;
+  // Mirrors `ceph tell mds.0 injectargs ...` from the paper's Section 3.1.
+  EXPECT_EQ(c.inject_args("mds_bal_metaload=IWR mds_bal_interval=10"), 2);
+  EXPECT_EQ(c.get("mds_bal_metaload"), "IWR");
+  EXPECT_EQ(c.get_int("mds_bal_interval", 0), 10);
+}
+
+TEST(Config, InjectArgsSkipsMalformedTokens) {
+  Config c;
+  EXPECT_EQ(c.inject_args("novalue =leadingeq good=1"), 1);
+  EXPECT_EQ(c.get_int("good", 0), 1);
+  EXPECT_FALSE(c.contains("novalue"));
+}
+
+TEST(Config, FindDistinguishesUnsetFromEmpty) {
+  Config c;
+  EXPECT_FALSE(c.find("k").has_value());
+  c.set("k", "");
+  ASSERT_TRUE(c.find("k").has_value());
+  EXPECT_EQ(*c.find("k"), "");
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,123 @@
+#include "common/decay_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mantle {
+namespace {
+
+TEST(DecayRate, HalfLifeRoundTrips) {
+  const DecayRate rate(5.0);
+  EXPECT_NEAR(rate.half_life(), 5.0, 1e-12);
+}
+
+TEST(DecayRate, FactorAtHalfLifeIsHalf) {
+  const DecayRate rate(5.0);
+  EXPECT_NEAR(rate.decay_factor(5.0), 0.5, 1e-12);
+  EXPECT_NEAR(rate.decay_factor(10.0), 0.25, 1e-12);
+  EXPECT_NEAR(rate.decay_factor(0.0), 1.0, 1e-12);
+}
+
+TEST(DecayCounter, StartsAtZero) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  EXPECT_DOUBLE_EQ(c.get(0, rate), 0.0);
+  EXPECT_DOUBLE_EQ(c.get(100 * kSec, rate), 0.0);
+}
+
+TEST(DecayCounter, HitAccumulatesWithoutTimeAdvance) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  c.hit(kSec, rate);
+  c.hit(kSec, rate);
+  c.hit(kSec, rate, 3.0);
+  EXPECT_DOUBLE_EQ(c.get(kSec, rate), 5.0);
+}
+
+TEST(DecayCounter, ValueHalvesAfterHalfLife) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  c.hit(0, rate, 8.0);
+  EXPECT_NEAR(c.get(5 * kSec, rate), 4.0, 1e-9);
+  EXPECT_NEAR(c.get(10 * kSec, rate), 2.0, 1e-9);
+  EXPECT_NEAR(c.get(15 * kSec, rate), 1.0, 1e-9);
+}
+
+TEST(DecayCounter, NeverDecaysBackwards) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  c.hit(10 * kSec, rate, 4.0);
+  // Querying at an earlier time must not change the value.
+  EXPECT_DOUBLE_EQ(c.get(5 * kSec, rate), 4.0);
+  EXPECT_NEAR(c.get(15 * kSec, rate), 2.0, 1e-9);
+}
+
+TEST(DecayCounter, TinyValuesSnapToZero) {
+  const DecayRate rate(1.0);
+  DecayCounter c;
+  c.hit(0, rate, 1.0);
+  // After 60 half-lives the value underflows the 1e-9 floor.
+  EXPECT_DOUBLE_EQ(c.get(60 * kSec, rate), 0.0);
+}
+
+TEST(DecayCounter, ScaleSplitsHeatProportionally) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  c.hit(kSec, rate, 10.0);
+  c.scale(0.25);
+  EXPECT_DOUBLE_EQ(c.get(kSec, rate), 2.5);
+}
+
+TEST(DecayCounter, MergeAddsValues) {
+  const DecayRate rate(5.0);
+  DecayCounter a;
+  DecayCounter b;
+  a.hit(kSec, rate, 2.0);
+  b.hit(kSec, rate, 3.0);
+  a.get(kSec, rate);
+  b.get(kSec, rate);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get(kSec, rate), 5.0);
+}
+
+TEST(DecayCounter, InterleavedHitsDecayIndependently) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  c.hit(0, rate, 4.0);
+  c.hit(5 * kSec, rate, 4.0);  // old 4 decayed to 2, plus new 4 = 6
+  EXPECT_NEAR(c.get(5 * kSec, rate), 6.0, 1e-9);
+  EXPECT_NEAR(c.get(10 * kSec, rate), 3.0, 1e-9);
+}
+
+TEST(DecayCounter, ResetClears) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  c.hit(0, rate, 100.0);
+  c.reset(2 * kSec);
+  EXPECT_DOUBLE_EQ(c.get(2 * kSec, rate), 0.0);
+  c.hit(2 * kSec, rate);
+  EXPECT_DOUBLE_EQ(c.get(2 * kSec, rate), 1.0);
+}
+
+// Property-style sweep: for any half-life and elapsed time, the decayed
+// value equals v * 2^(-dt/hl).
+class DecayProperty : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DecayProperty, MatchesClosedForm) {
+  const auto [half_life, dt] = GetParam();
+  const DecayRate rate(half_life);
+  DecayCounter c;
+  c.hit(0, rate, 7.0);
+  const Time t = from_seconds(dt);
+  const double expect = 7.0 * std::pow(0.5, to_seconds(t) / half_life);
+  EXPECT_NEAR(c.get(t, rate), expect < 1e-9 ? 0.0 : expect, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecayProperty,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 5.0, 30.0),
+                       ::testing::Values(0.0, 0.1, 1.0, 2.5, 7.0, 20.0)));
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,98 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mantle {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = r.uniform(10, 20);
+    EXPECT_GE(x, 10u);
+    EXPECT_LE(x, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(99);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.gaussian(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(0.5);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(123);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace mantle

@@ -1,0 +1,69 @@
+#include "common/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mantle {
+namespace {
+
+TEST(Timeline, RecordsIntoBuckets) {
+  Timeline tl(kSec);
+  tl.record(0);
+  tl.record(500 * kMsec);
+  tl.record(kSec);
+  EXPECT_EQ(tl.size(), 2u);
+  EXPECT_DOUBLE_EQ(tl.value(0), 2.0);
+  EXPECT_DOUBLE_EQ(tl.value(1), 1.0);
+  EXPECT_DOUBLE_EQ(tl.value(99), 0.0);
+}
+
+TEST(Timeline, RateNormalizesByWidth) {
+  Timeline tl(2 * kSec);
+  for (int i = 0; i < 10; ++i) tl.record(kSec, 1.0);
+  EXPECT_DOUBLE_EQ(tl.rate(0), 5.0);  // 10 events over 2 seconds
+}
+
+TEST(Timeline, WeightsAccumulate) {
+  Timeline tl(kSec);
+  tl.record(0, 2.5);
+  tl.record(100, 1.5);
+  EXPECT_DOUBLE_EQ(tl.value(0), 4.0);
+  EXPECT_DOUBLE_EQ(tl.total(), 4.0);
+}
+
+TEST(Timeline, ResampleAveragesRates) {
+  Timeline tl(kSec);
+  // 4 seconds of data at 10, 20, 30, 40 events/sec.
+  for (int s = 0; s < 4; ++s)
+    for (int i = 0; i < (s + 1) * 10; ++i) tl.record(static_cast<Time>(s) * kSec);
+  const auto coarse = tl.resample_rates(2);
+  ASSERT_EQ(coarse.size(), 2u);
+  EXPECT_DOUBLE_EQ(coarse[0], 15.0);
+  EXPECT_DOUBLE_EQ(coarse[1], 35.0);
+}
+
+TEST(Timeline, ResampleEmpty) {
+  Timeline tl(kSec);
+  const auto coarse = tl.resample_rates(3);
+  ASSERT_EQ(coarse.size(), 3u);
+  EXPECT_DOUBLE_EQ(coarse[0], 0.0);
+}
+
+TEST(Timeline, FormatTime) {
+  EXPECT_EQ(format_time(0), "0:00.000");
+  EXPECT_EQ(format_time(90 * kSec + 250 * kMsec), "1:30.250");
+}
+
+TEST(Timeline, RenderSeriesTableHasHeaderAndRows) {
+  Timeline a(kSec);
+  Timeline b(kSec);
+  a.record(0, 10);
+  b.record(kSec, 20);
+  const auto txt = render_series_table({{"mds0", &a}, {"mds1", &b}}, kSec);
+  EXPECT_NE(txt.find("mds0"), std::string::npos);
+  EXPECT_NE(txt.find("mds1"), std::string::npos);
+  EXPECT_NE(txt.find("0:00.000"), std::string::npos);
+  EXPECT_NE(txt.find("0:01.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mantle

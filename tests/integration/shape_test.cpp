@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "balancers/builtin.hpp"
+#include "core/mantle.hpp"
+#include "sim/scenario.hpp"
+#include "workloads/compile.hpp"
+#include "workloads/create_heavy.hpp"
+
+/// Shape-regression suite: the paper's qualitative results, pinned as
+/// assertions on small-but-sufficient runs. If a refactor of the cost
+/// model or the balancing mechanics breaks a reproduced crossover, these
+/// fail long before anyone re-reads EXPERIMENTS.md.
+
+namespace mantle {
+namespace {
+
+struct RunOut {
+  double runtime_s = 0.0;
+  double throughput = 0.0;
+  double mean_lat_ms = 0.0;
+  std::uint64_t migrations = 0;
+  std::uint64_t forwards = 0;
+  std::vector<std::uint64_t> per_mds;
+};
+
+RunOut run_shared_create(int num_mds, cluster::MdsCluster::BalancerFactory f,
+                         std::size_t files = 8000, std::uint64_t seed = 11) {
+  sim::ScenarioConfig cfg;
+  cfg.cluster.num_mds = num_mds;
+  cfg.cluster.seed = seed;
+  cfg.cluster.split_size = 2500;
+  cfg.cluster.bal_interval = kSec;
+  sim::Scenario s(cfg);
+  if (f) s.cluster().set_balancer_all(f);
+  for (int c = 0; c < 4; ++c)
+    s.add_client(workloads::make_shared_create_workload(c, "/shared", files, 100));
+  s.run();
+  RunOut out;
+  out.runtime_s = to_seconds(s.makespan());
+  out.throughput = s.aggregate_throughput();
+  out.mean_lat_ms = s.pooled_latencies_ms().mean();
+  out.migrations = s.cluster().migrations().size();
+  out.forwards = s.cluster().total_forwards();
+  for (int m = 0; m < num_mds; ++m)
+    out.per_mds.push_back(s.cluster().node(m).stats().completed);
+  return out;
+}
+
+cluster::MdsCluster::BalancerFactory lua(core::MantlePolicy (*p)()) {
+  return [p](int) { return std::make_unique<core::MantleBalancer>(p()); };
+}
+
+// -- Figure 5 shape ----------------------------------------------------------
+
+TEST(Shape, SingleMdsSaturatesAndLatencyClimbs) {
+  auto run_n = [](int clients) {
+    sim::ScenarioConfig cfg;
+    cfg.cluster.num_mds = 1;
+    sim::Scenario s(cfg);
+    for (int c = 0; c < clients; ++c)
+      s.add_client(workloads::make_private_create_workload(c, 4000, 350));
+    s.run();
+    return std::pair<double, double>{s.aggregate_throughput(),
+                                     s.pooled_latencies_ms().mean()};
+  };
+  const auto [t1, l1] = run_n(1);
+  const auto [t4, l4] = run_n(4);
+  const auto [t7, l7] = run_n(7);
+  // Near-linear to 4 clients...
+  EXPECT_GT(t4, 3.3 * t1);
+  // ...then saturation: 7 clients deliver far less than 7/4 of 4 clients.
+  EXPECT_LT(t7, 1.45 * t4);
+  // Latency rises monotonically with offered load.
+  EXPECT_GT(l4, l1);
+  EXPECT_GT(l7, l4 * 1.3);
+}
+
+// -- Figure 7/8 shapes ---------------------------------------------------------
+
+TEST(Shape, GreedySpillTwoMdsBeatsFourMds) {
+  const RunOut base = run_shared_create(1, nullptr);
+  const RunOut two = run_shared_create(2, lua(core::scripts::greedy_spill));
+  const RunOut four = run_shared_create(4, lua(core::scripts::greedy_spill));
+  // Spilling to 2 is no worse than ~2% vs baseline; spreading the same
+  // directory over 4 is clearly worse than 2 (the Figure 8 crossover).
+  EXPECT_LT(two.runtime_s, base.runtime_s * 1.02);
+  EXPECT_GT(four.runtime_s, two.runtime_s * 1.03);
+}
+
+TEST(Shape, GreedySpillChainIsUneven) {
+  const RunOut four = run_shared_create(4, lua(core::scripts::greedy_spill));
+  // Every MDS got work, in a decreasing chain from rank 0.
+  ASSERT_EQ(four.per_mds.size(), 4u);
+  EXPECT_GT(four.per_mds[0], four.per_mds[3]);
+  EXPECT_GT(four.per_mds[1] + four.per_mds[2], four.per_mds[3]);
+}
+
+TEST(Shape, FillSpillUsesSubsetOfNodes) {
+  const RunOut four = run_shared_create(
+      4, lua(+[] { return core::scripts::fill_and_spill(48.0, 0.25); }));
+  ASSERT_EQ(four.per_mds.size(), 4u);
+  // At least one MDS stays (almost) unused — the paper's "only uses a
+  // subset of the MDS nodes".
+  std::uint64_t least = four.per_mds[0];
+  for (const auto c : four.per_mds) least = std::min(least, c);
+  const std::uint64_t total = 4 * 8000 + 4;
+  EXPECT_LT(least, total / 20);
+}
+
+TEST(Shape, FillSpill25BeatsFillSpill10) {
+  const RunOut s25 = run_shared_create(
+      2, lua(+[] { return core::scripts::fill_and_spill(48.0, 0.25); }));
+  const RunOut s10 = run_shared_create(
+      2, lua(+[] { return core::scripts::fill_and_spill(48.0, 0.10); }));
+  EXPECT_LE(s25.runtime_s, s10.runtime_s * 1.01);
+}
+
+// -- Figure 10 shape ---------------------------------------------------------
+
+TEST(Shape, TooAggressiveChurnsMoreThanAdaptable) {
+  auto run_compile = [](cluster::MdsCluster::BalancerFactory f) {
+    sim::ScenarioConfig cfg;
+    cfg.cluster.num_mds = 5;
+    cfg.cluster.seed = 31;
+    cfg.cluster.bal_interval = kSec;
+    sim::Scenario s(cfg);
+    s.cluster().set_balancer_all(std::move(f));
+    for (int c = 0; c < 5; ++c) {
+      workloads::CompileOptions o;
+      o.root = "/client" + std::to_string(c);
+      o.files_per_dir = 15;
+      o.compile_ops = 2000;
+      o.read_ops = 400;
+      o.link_rounds = 4;
+      s.add_client(std::make_unique<workloads::CompileWorkload>(o));
+    }
+    s.run();
+    return std::pair<std::size_t, std::uint64_t>{
+        s.cluster().migrations().size(), s.cluster().total_forwards()};
+  };
+  const auto [mig_adapt, fwd_adapt] = run_compile(lua(core::scripts::adaptable));
+  const auto [mig_aggr, fwd_aggr] = run_compile([](int) {
+    balancers::AdaptableBalancer::Options o;
+    o.mode = balancers::AdaptableBalancer::Mode::kTooAggressive;
+    return std::make_unique<balancers::AdaptableBalancer>(o);
+  });
+  EXPECT_GT(mig_aggr, mig_adapt * 2) << "too-aggressive must thrash";
+  EXPECT_GT(fwd_aggr, fwd_adapt);
+}
+
+// -- Locality shape (Figure 3) ---------------------------------------------------
+
+TEST(Shape, ScatteringHotDirectoriesCausesForwards) {
+  // Manually scatter a tree's dirfrags across 3 MDS and compare forwards
+  // against whole-subtree placement, as fig03_locality does at full size.
+  auto run_spread = [](bool scatter) {
+    sim::ScenarioConfig cfg;
+    cfg.cluster.num_mds = 3;
+    sim::Scenario s(cfg);
+    workloads::CompileOptions opt;
+    opt.root = "/client0";
+    opt.files_per_dir = 15;
+    opt.compile_ops = 2000;
+    opt.read_ops = 300;
+    opt.link_rounds = 2;
+    auto wl = std::make_unique<workloads::CompileWorkload>(opt);
+    auto* raw = wl.get();
+    s.add_client(std::move(wl));
+    bool placed = false;
+    s.add_probe(200 * kMsec, [&, raw, scatter](Time now) {
+      if (placed || raw->phase() == workloads::CompileWorkload::Phase::Untar)
+        return;
+      placed = true;
+      int rr = 0;
+      for (const auto& d : workloads::compile_tree_spec()) {
+        const auto res = s.cluster().ns().resolve(std::string("/client0/") + d.name);
+        if (!res.found) continue;
+        if (!scatter) {
+          const int t = rr++ % 3;
+          if (t != 0) s.cluster().export_subtree({res.ino, mds::frag_t()}, t);
+        } else {
+          const auto kids = s.cluster().ns().split({res.ino, mds::frag_t()}, 2, now);
+          for (const mds::frag_t k : kids) {
+            const int t = rr++ % 3;
+            if (t != s.cluster().auth_of({res.ino, k}))
+              s.cluster().export_subtree({res.ino, k}, t);
+          }
+        }
+      }
+    });
+    s.run();
+    return s.cluster().total_forwards();
+  };
+  const auto fwd_whole = run_spread(false);
+  const auto fwd_scatter = run_spread(true);
+  EXPECT_GT(fwd_scatter, fwd_whole * 3 + 10);
+}
+
+// -- Determinism --------------------------------------------------------------
+
+TEST(Shape, WholeScenarioIsSeedDeterministic) {
+  const RunOut a = run_shared_create(3, lua(core::scripts::greedy_spill), 4000, 9);
+  const RunOut b = run_shared_create(3, lua(core::scripts::greedy_spill), 4000, 9);
+  EXPECT_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.forwards, b.forwards);
+  EXPECT_EQ(a.per_mds, b.per_mds);
+}
+
+}  // namespace
+}  // namespace mantle

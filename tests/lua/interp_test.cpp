@@ -1,0 +1,392 @@
+#include "lua/interp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mantle::lua {
+namespace {
+
+/// Run a chunk and return the first value of its top-level `return`.
+Value run1(Interp& in, const std::string& src) {
+  RunResult r = in.run(src);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.first();
+}
+
+double num(Interp& in, const std::string& src) {
+  const Value v = run1(in, src);
+  EXPECT_TRUE(v.is_number()) << "got " << v.type_name();
+  return v.is_number() ? v.number() : 0.0;
+}
+
+TEST(Interp, Arithmetic) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return 1+2*3"), 7.0);
+  EXPECT_DOUBLE_EQ(num(in, "return (1+2)*3"), 9.0);
+  EXPECT_DOUBLE_EQ(num(in, "return 10/4"), 2.5);
+  EXPECT_DOUBLE_EQ(num(in, "return 7%3"), 1.0);
+  EXPECT_DOUBLE_EQ(num(in, "return -7%3"), 2.0);  // Lua sign-of-divisor rule
+  EXPECT_DOUBLE_EQ(num(in, "return 2^10"), 1024.0);
+  EXPECT_DOUBLE_EQ(num(in, "return -2^2"), -4.0);     // ^ binds tighter than unary -
+  EXPECT_DOUBLE_EQ(num(in, "return 2^3^2"), 512.0);   // right-associative
+  EXPECT_DOUBLE_EQ(num(in, "return 1 - 2 - 3"), -4.0);  // left-associative
+}
+
+TEST(Interp, NumericStringCoercion) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return '2' + 3"), 5.0);
+  EXPECT_DOUBLE_EQ(num(in, "return '2.5' * '2'"), 5.0);
+  RunResult r = in.run("return 'abc' + 1");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("arithmetic"), std::string::npos);
+}
+
+TEST(Interp, Comparisons) {
+  Interp in;
+  EXPECT_TRUE(run1(in, "return 1 < 2").boolean());
+  EXPECT_FALSE(run1(in, "return 2 <= 1").boolean());
+  EXPECT_TRUE(run1(in, "return 'a' < 'b'").boolean());
+  EXPECT_TRUE(run1(in, "return 1 ~= 2").boolean());
+  EXPECT_TRUE(run1(in, "return nil == nil").boolean());
+  // Different types are never equal (and == does not coerce).
+  EXPECT_FALSE(run1(in, "return 1 == '1'").boolean());
+  // Ordering mixed types is an error.
+  EXPECT_FALSE(in.run("return 1 < 'x'").ok);
+}
+
+TEST(Interp, LogicalOperatorsReturnOperands) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return false or 5"), 5.0);
+  EXPECT_DOUBLE_EQ(num(in, "return nil and 1 or 7"), 7.0);
+  EXPECT_TRUE(run1(in, "return 1 and true").boolean());
+  EXPECT_TRUE(run1(in, "return not nil").boolean());
+  EXPECT_FALSE(run1(in, "return not 0").boolean());  // 0 is truthy in Lua
+}
+
+TEST(Interp, ShortCircuitSkipsEvaluation) {
+  Interp in;
+  // If `and` didn't short-circuit this would index nil and fail.
+  EXPECT_FALSE(run1(in, "return false and missing_table[1]").truthy());
+  EXPECT_TRUE(run1(in, "return true or missing_table[1]").truthy());
+}
+
+TEST(Interp, Concat) {
+  Interp in;
+  EXPECT_EQ(run1(in, "return 'a' .. 'b' .. 1").str(), "ab1");
+  EXPECT_EQ(run1(in, "return 1 .. 2").str(), "12");
+  EXPECT_FALSE(in.run("return {} .. 'x'").ok);
+}
+
+TEST(Interp, GlobalsAndLocals) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "x = 4 return x"), 4.0);
+  EXPECT_DOUBLE_EQ(num(in, "return x"), 4.0);  // globals persist across run()
+  EXPECT_DOUBLE_EQ(num(in, "local x = 9 return x"), 9.0);
+  EXPECT_DOUBLE_EQ(num(in, "return x"), 4.0);  // local did not clobber global
+  EXPECT_TRUE(run1(in, "return undefined_global").is_nil());
+}
+
+TEST(Interp, LocalScopingInBlocks) {
+  Interp in;
+  const char* src = R"(
+    local a = 1
+    do local a = 2 end
+    if true then local a = 3 end
+    return a
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 1.0);
+}
+
+TEST(Interp, MultipleAssignment) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "a, b = 1, 2 return a + b"), 3.0);
+  // Extra values are dropped; missing values become nil.
+  EXPECT_TRUE(run1(in, "c, d = 1 return d").is_nil());
+  EXPECT_DOUBLE_EQ(num(in, "local p, q = 5, 6 return p * q"), 30.0);
+}
+
+TEST(Interp, IfElseifElse) {
+  Interp in;
+  const char* src = R"(
+    function grade(x)
+      if x > 10 then return "big"
+      elseif x > 5 then return "mid"
+      else return "small" end
+    end
+    return grade(%d)
+  )";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), src, 20);
+  EXPECT_EQ(run1(in, buf).str(), "big");
+  std::snprintf(buf, sizeof(buf), src, 7);
+  EXPECT_EQ(run1(in, buf).str(), "mid");
+  std::snprintf(buf, sizeof(buf), src, 1);
+  EXPECT_EQ(run1(in, buf).str(), "small");
+}
+
+TEST(Interp, WhileLoop) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "local s=0 local i=1 while i<=10 do s=s+i i=i+1 end return s"), 55.0);
+}
+
+TEST(Interp, WhileWithBreak) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(
+      num(in, "local i=0 while true do i=i+1 if i==5 then break end end return i"),
+      5.0);
+}
+
+TEST(Interp, RepeatUntilSeesBodyLocals) {
+  Interp in;
+  // The `until` condition references a local declared inside the body.
+  // iterations: n=0 done=false n=1; n=1 false n=2; n=2 false n=3;
+  // n=3 done=true n=4 -> stop with n==4.
+  EXPECT_DOUBLE_EQ(
+      num(in, "local n=0 repeat local done = n>=3 n=n+1 until done return n"),
+      4.0);
+}
+
+TEST(Interp, NumericFor) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "local s=0 for i=1,5 do s=s+i end return s"), 15.0);
+  EXPECT_DOUBLE_EQ(num(in, "local s=0 for i=10,1,-2 do s=s+i end return s"), 30.0);
+  EXPECT_DOUBLE_EQ(num(in, "local s=0 for i=5,1 do s=s+1 end return s"), 0.0);
+  EXPECT_FALSE(in.run("for i=1,10,0 do end").ok);  // zero step
+}
+
+TEST(Interp, NumericForVariableIsPerIteration) {
+  Interp in;
+  // Mutating the loop variable must not affect iteration count.
+  EXPECT_DOUBLE_EQ(num(in, "local n=0 for i=1,3 do i = 100 n=n+1 end return n"), 3.0);
+}
+
+TEST(Interp, GenericForPairs) {
+  Interp in;
+  const char* src = R"(
+    local t = {} t["a"]=1 t["b"]=2 t[1]=10
+    local sum = 0
+    local count = 0
+    for k, v in pairs(t) do sum = sum + v count = count + 1 end
+    return sum + count
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 16.0);
+}
+
+TEST(Interp, GenericForIpairsStopsAtHole) {
+  Interp in;
+  const char* src = R"(
+    local t = {10, 20, 30}
+    t[5] = 50  -- unreachable via ipairs
+    local s = 0
+    for i, v in ipairs(t) do s = s + v end
+    return s
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 60.0);
+}
+
+TEST(Interp, Tables) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "local t = {1,2,3} return #t"), 3.0);
+  EXPECT_DOUBLE_EQ(num(in, "local t = {x=5, [2+2]=7} return t.x + t[4]"), 12.0);
+  EXPECT_TRUE(run1(in, "local t = {} return t[1]").is_nil());
+  EXPECT_DOUBLE_EQ(num(in, "local t = {} t[1]=1 t[2]=2 t[2]=nil return #t"), 1.0);
+}
+
+TEST(Interp, NestedTables) {
+  Interp in;
+  const char* src = R"(
+    local MDSs = {}
+    MDSs[1] = {} MDSs[1]["load"] = 3.5
+    MDSs[2] = {} MDSs[2]["load"] = 1.5
+    return MDSs[1]["load"] + MDSs[2]["load"]
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 5.0);
+}
+
+TEST(Interp, LengthOperator) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return #'hello'"), 5.0);
+  EXPECT_DOUBLE_EQ(num(in, "local t={} t[1]=1 t[3]=3 return #t"), 1.0);
+  EXPECT_FALSE(in.run("return #42").ok);
+}
+
+TEST(Interp, Functions) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "function f(a, b) return a - b end return f(10, 4)"), 6.0);
+  EXPECT_DOUBLE_EQ(num(in, "local g = function(x) return x * x end return g(9)"), 81.0);
+  // Missing args become nil; extra args are dropped.
+  EXPECT_TRUE(run1(in, "function h(a, b) return b end return h(1)").is_nil());
+  EXPECT_DOUBLE_EQ(num(in, "function k(a) return a end return k(1, 2, 3)"), 1.0);
+}
+
+TEST(Interp, Recursion) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(
+      num(in, "function fact(n) if n<=1 then return 1 end return n*fact(n-1) end return fact(10)"),
+      3628800.0);
+}
+
+TEST(Interp, LocalFunctionCanRecurse) {
+  Interp in;
+  const char* src = R"(
+    local function fib(n)
+      if n < 2 then return n end
+      return fib(n-1) + fib(n-2)
+    end
+    return fib(12)
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 144.0);
+}
+
+TEST(Interp, ClosuresCaptureByReference) {
+  Interp in;
+  const char* src = R"(
+    local function counter()
+      local n = 0
+      return function() n = n + 1 return n end
+    end
+    local c = counter()
+    c() c()
+    return c()
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 3.0);
+}
+
+TEST(Interp, MultipleReturnValues) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "function mr() return 1, 2, 3 end local a,b,c = mr() return a+b+c"), 6.0);
+  // Only the last call in an expression list expands.
+  EXPECT_DOUBLE_EQ(num(in, "function mr() return 1, 2 end local a,b,c = mr(), 10 return b"), 10.0);
+  EXPECT_TRUE(run1(in, "function mr() return 1, 2 end local a,b,c = mr(), 10 return c").is_nil());
+  // In the middle of a list a call contributes one value.
+  EXPECT_DOUBLE_EQ(num(in, "function mr() return 5, 6 end local t = {mr(), mr()} return #t"), 3.0);
+}
+
+TEST(Interp, MethodCalls) {
+  Interp in;
+  const char* src = R"(
+    local obj = { factor = 3 }
+    function obj:scale(x) return self.factor * x end
+    return obj:scale(7)
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 21.0);
+}
+
+TEST(Interp, TableSortWithComparator) {
+  Interp in;
+  const char* src = R"(
+    local t = {5, 1, 4, 2, 3}
+    table.sort(t, function(a, b) return a > b end)
+    return t[1] * 10 + t[5]
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 51.0);
+}
+
+TEST(Interp, RuntimeErrorsAreCaptured) {
+  Interp in;
+  RunResult r = in.run("local t = nil\nreturn t.x");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("policy:2"), std::string::npos);
+  EXPECT_NE(r.error.find("index"), std::string::npos);
+}
+
+TEST(Interp, CallingNonFunctionFails) {
+  Interp in;
+  RunResult r = in.run("return not_a_function(1)");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("not_a_function"), std::string::npos);
+}
+
+TEST(Interp, StackOverflowIsCaught) {
+  Interp in;
+  RunResult r = in.run("function f() return f() end return f()");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("stack overflow"), std::string::npos);
+}
+
+TEST(Interp, BudgetStopsInfiniteLoop) {
+  // The paper's motivating safety example: `while 1` must not hang the MDS.
+  Interp in;
+  in.set_budget(10000);
+  RunResult r = in.run("while 1 do end");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, BudgetAllowsNormalPolicies) {
+  Interp in;
+  in.set_budget(100000);
+  EXPECT_DOUBLE_EQ(num(in, "local s=0 for i=1,100 do s=s+i end return s"), 5050.0);
+}
+
+TEST(Interp, BudgetResetsBetweenRuns) {
+  Interp in;
+  in.set_budget(5000);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(in.run("local s=0 for i=1,100 do s=s+i end").ok);
+}
+
+TEST(Interp, HostFunctionRegistration) {
+  Interp in;
+  in.set_function("twice", [](std::vector<Value>& args, Interp&) {
+    return std::vector<Value>{Value(args.at(0).number() * 2.0)};
+  });
+  EXPECT_DOUBLE_EQ(num(in, "return twice(21)"), 42.0);
+}
+
+TEST(Interp, HostGlobalsVisibleToScript) {
+  Interp in;
+  in.set_global("whoami", Value(2.0));
+  auto mdss = make_table();
+  auto m1 = make_table();
+  m1->set(Value("load"), Value(7.5));
+  mdss->set(Value(2.0), Value(m1));
+  in.set_global("MDSs", Value(mdss));
+  EXPECT_DOUBLE_EQ(num(in, "return MDSs[whoami]['load']"), 7.5);
+}
+
+TEST(Interp, ScriptResultsReadableFromHost) {
+  Interp in;
+  auto targets = make_table();
+  in.set_global("targets", Value(targets));
+  EXPECT_TRUE(in.run("targets[2] = 13.5").ok);
+  EXPECT_DOUBLE_EQ(targets->get(Value(2.0)).number(), 13.5);
+}
+
+TEST(Interp, PrintGoesToCapturedOutput) {
+  Interp in;
+  EXPECT_TRUE(in.run("print('hello', 42)").ok);
+  EXPECT_EQ(in.output(), "hello\t42\n");
+}
+
+TEST(Interp, EvalExpression) {
+  Interp in;
+  RunResult r = in.eval("1 + 2 * 3");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 7.0);
+}
+
+TEST(Interp, CallLuaFunctionFromHost) {
+  Interp in;
+  ASSERT_TRUE(in.run("function addmul(a, b) return a + b, a * b end").ok);
+  RunResult r = in.call(in.get_global("addmul"), {Value(3.0), Value(4.0)});
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.values[0].number(), 7.0);
+  EXPECT_DOUBLE_EQ(r.values[1].number(), 12.0);
+}
+
+TEST(Interp, CheckSyntaxAcceptsAndRejects) {
+  EXPECT_EQ(check_syntax("x = 1 if x > 0 then x = 2 end"), "");
+  EXPECT_NE(check_syntax("if x > 0 then"), "");      // unterminated if
+  EXPECT_NE(check_syntax("x = = 1"), "");            // bad expression
+  EXPECT_NE(check_syntax("1 + 2"), "");              // expression is not a statement
+}
+
+TEST(Interp, StepsUsedIsReported) {
+  Interp in;
+  in.run("local s = 0 for i=1,10 do s = s + 1 end");
+  EXPECT_GT(in.steps_used(), 10u);
+}
+
+}  // namespace
+}  // namespace mantle::lua

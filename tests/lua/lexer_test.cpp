@@ -1,0 +1,138 @@
+#include "lua/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lua/value.hpp"
+
+namespace mantle::lua {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const Token& t : tokenize(src, "t")) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyChunkIsJustEof) {
+  EXPECT_EQ(kinds(""), std::vector<Tok>{Tok::Eof});
+  EXPECT_EQ(kinds("   \n\t "), std::vector<Tok>{Tok::Eof});
+}
+
+TEST(Lexer, Keywords) {
+  const auto k = kinds("if then else elseif end while do for in repeat until "
+                       "function local return break and or not nil true false");
+  const std::vector<Tok> expect = {
+      Tok::If, Tok::Then, Tok::Else, Tok::Elseif, Tok::End, Tok::While,
+      Tok::Do, Tok::For, Tok::In, Tok::Repeat, Tok::Until, Tok::Function,
+      Tok::Local, Tok::Return, Tok::Break, Tok::And, Tok::Or, Tok::Not,
+      Tok::Nil, Tok::True, Tok::False, Tok::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, NamesAreNotKeywords) {
+  const auto toks = tokenize("whoami MDSs _x x1 iff", "t");
+  ASSERT_EQ(toks.size(), 6u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(toks[i].kind, Tok::Name);
+  EXPECT_EQ(toks[0].text, "whoami");
+  EXPECT_EQ(toks[4].text, "iff");
+}
+
+TEST(Lexer, NumberForms) {
+  const auto toks = tokenize("1 42 3.14 .01 1e3 2.5e-2 0xff", "t");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 42.0);
+  EXPECT_DOUBLE_EQ(toks[2].number, 3.14);
+  EXPECT_DOUBLE_EQ(toks[3].number, 0.01);  // leading-dot literal from Listing 1
+  EXPECT_DOUBLE_EQ(toks[4].number, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[5].number, 0.025);
+  EXPECT_DOUBLE_EQ(toks[6].number, 255.0);
+}
+
+TEST(Lexer, StringsAndEscapes) {
+  const auto toks = tokenize(R"( "load" 'auth' "a\nb" "q\"q" '\65' )", "t");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].text, "load");
+  EXPECT_EQ(toks[1].text, "auth");
+  EXPECT_EQ(toks[2].text, "a\nb");
+  EXPECT_EQ(toks[3].text, "q\"q");
+  EXPECT_EQ(toks[4].text, "A");
+}
+
+TEST(Lexer, OperatorsIncludingCompound) {
+  const auto k = kinds("== ~= <= >= < > = .. ... . # ^ % + - * / ( ) { } [ ] ; : ,");
+  const std::vector<Tok> expect = {
+      Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::Lt, Tok::Gt, Tok::Assign,
+      Tok::Concat, Tok::Ellipsis, Tok::Dot, Tok::Hash, Tok::Caret,
+      Tok::Percent, Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash,
+      Tok::LParen, Tok::RParen, Tok::LBrace, Tok::RBrace, Tok::LBracket,
+      Tok::RBracket, Tok::Semi, Tok::Colon, Tok::Comma, Tok::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, LineComments) {
+  const auto k = kinds("x = 1 -- Metadata load\ny = 2");
+  const std::vector<Tok> expect = {Tok::Name, Tok::Assign, Tok::Number,
+                                   Tok::Name, Tok::Assign, Tok::Number,
+                                   Tok::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, BlockComments) {
+  const auto k = kinds("a --[[ spans\nlines ]] b");
+  const std::vector<Tok> expect = {Tok::Name, Tok::Name, Tok::Eof};
+  EXPECT_EQ(k, expect);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = tokenize("a\nb\n\nc", "t");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, ErrorsCarryChunkAndLine) {
+  try {
+    tokenize("x = 1\ny = \"unterminated", "mypolicy");
+    FAIL() << "expected LuaError";
+  } catch (const LuaError& e) {
+    EXPECT_NE(std::string(e.what()).find("mypolicy:2"), std::string::npos);
+  }
+}
+
+TEST(Lexer, RejectsStrayTilde) {
+  EXPECT_THROW(tokenize("a ~ b", "t"), LuaError);
+}
+
+TEST(Lexer, RejectsBadEscape) {
+  EXPECT_THROW(tokenize(R"("bad \z escape")", "t"), LuaError);
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  EXPECT_THROW(tokenize("--[[ never closed", "t"), LuaError);
+}
+
+TEST(Lexer, RejectsMalformedHex) {
+  EXPECT_THROW(tokenize("0x", "t"), LuaError);
+}
+
+TEST(Lexer, ListingOneLexesCleanly) {
+  // Verbatim Greedy Spill from the paper (Listing 1).
+  const char* src = R"(
+-- Metadata load
+metaload = IWR
+-- Metadata server load
+mdsload = MDSs[i]["all"]
+-- When policy
+if MDSs[whoami]["load"]>.01 and
+   MDSs[whoami+1]["load"]<.01 then
+-- Where policy
+targets[whoami+1]=allmetaload/2
+-- Howmuch policy
+end
+)";
+  EXPECT_NO_THROW(tokenize(src, "listing1"));
+}
+
+}  // namespace
+}  // namespace mantle::lua

@@ -1,0 +1,139 @@
+#include "lua/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lua/value.hpp"
+
+namespace mantle::lua {
+namespace {
+
+bool parses(const std::string& src) {
+  try {
+    parse(src, "t");
+    return true;
+  } catch (const LuaError&) {
+    return false;
+  }
+}
+
+TEST(Parser, EmptyChunk) { EXPECT_TRUE(parses("")); }
+
+TEST(Parser, Statements) {
+  EXPECT_TRUE(parses("x = 1"));
+  EXPECT_TRUE(parses("x, y = 1, 2"));
+  EXPECT_TRUE(parses("local a, b = 1"));
+  EXPECT_TRUE(parses("f()"));
+  EXPECT_TRUE(parses("t.a.b[1]()"));
+  EXPECT_TRUE(parses("do x = 1 end"));
+  EXPECT_TRUE(parses("while x do y() end"));
+  EXPECT_TRUE(parses("repeat y() until x"));
+  EXPECT_TRUE(parses("for i = 1, 10 do end"));
+  EXPECT_TRUE(parses("for i = 1, 10, 2 do end"));
+  EXPECT_TRUE(parses("for k, v in pairs(t) do end"));
+  EXPECT_TRUE(parses("if a then b() elseif c then d() else e() end"));
+  EXPECT_TRUE(parses("return"));
+  EXPECT_TRUE(parses("return 1, 2"));
+  EXPECT_TRUE(parses("while true do break end"));
+}
+
+TEST(Parser, Semicolons) {
+  EXPECT_TRUE(parses("x = 1; y = 2;"));
+  EXPECT_TRUE(parses(";;"));
+}
+
+TEST(Parser, FunctionForms) {
+  EXPECT_TRUE(parses("function f() end"));
+  EXPECT_TRUE(parses("function f(a, b) return a end"));
+  EXPECT_TRUE(parses("function t.a.b() end"));
+  EXPECT_TRUE(parses("function t:m(x) return self end"));
+  EXPECT_TRUE(parses("local function f() end"));
+  EXPECT_TRUE(parses("f = function(...) end"));
+}
+
+TEST(Parser, CallArgumentForms) {
+  EXPECT_TRUE(parses("f 'literal'"));
+  EXPECT_TRUE(parses("f {1, 2}"));
+  EXPECT_TRUE(parses("obj:method(1)"));
+  EXPECT_TRUE(parses("obj:method 'x'"));
+}
+
+TEST(Parser, TableConstructors) {
+  EXPECT_TRUE(parses("t = {}"));
+  EXPECT_TRUE(parses("t = {1, 2, 3}"));
+  EXPECT_TRUE(parses("t = {a = 1, [2] = 3, 'pos'}"));
+  EXPECT_TRUE(parses("t = {1, 2,}"));   // trailing comma
+  EXPECT_TRUE(parses("t = {1; 2}"));    // semicolon separator
+  EXPECT_TRUE(parses("t = {\"half\",\"small\",\"big\",\"big_small\"}"));
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+  EXPECT_FALSE(parses("x ="));
+  EXPECT_FALSE(parses("if x then"));
+  EXPECT_FALSE(parses("while do end"));
+  EXPECT_FALSE(parses("for i do end"));
+  EXPECT_FALSE(parses("function"));
+  EXPECT_FALSE(parses("1 + 2"));          // expression is not a statement
+  EXPECT_FALSE(parses("x + 1 = 2"));      // non-assignable lhs
+  EXPECT_FALSE(parses("f() = 3"));        // call is not assignable
+  EXPECT_FALSE(parses("return 1 x = 2")); // code after return
+  EXPECT_FALSE(parses("end"));
+  EXPECT_FALSE(parses("local 1 = x"));
+}
+
+TEST(Parser, ErrorsMentionChunkAndLine) {
+  try {
+    parse("x = 1\nif then end", "balancer.lua");
+    FAIL() << "expected LuaError";
+  } catch (const LuaError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("balancer.lua:2"), std::string::npos) << msg;
+  }
+}
+
+TEST(Parser, PaperListingsParse) {
+  // Listing 2: Greedy Spill Evenly (completed with `end`).
+  const char* listing2 = R"(
+    t=((#MDSs-whoami+1)/2)+whoami
+    if t>#MDSs then t=whoami end
+    while t~=whoami and MDSs[t]["load"]<.01 do t=t-1 end
+    if MDSs[whoami]["load"]>.01 and MDSs[t]["load"]<.01 then
+      targets[t]=MDSs[whoami]["load"]/2
+    end
+  )";
+  EXPECT_TRUE(parses(listing2));
+
+  // Listing 3: Fill and Spill.
+  const char* listing3 = R"(
+    wait=RDState(); go = 0;
+    if MDSs[whoami]["cpu"]>48 then
+      if wait>0 then WRState(wait-1)
+      else WRState(2); go=1; end
+    else WRState(2) end
+    if go==1 then
+      targets[whoami+1] = MDSs[whoami]["load"]/4
+    end
+  )";
+  EXPECT_TRUE(parses(listing3));
+
+  // Listing 4: Adaptable Balancer.
+  const char* listing4 = R"(
+    metaload = IWR + IRD
+    max=0
+    for i=1,#MDSs do
+      max = max(MDSs[i]["load"], max)
+    end
+    myLoad = MDSs[whoami]["load"]
+    if myLoad>total/2 and myLoad>=max then
+      targetLoad=total/#MDSs
+      for i=1,#MDSs do
+        if MDSs[i]["load"]<targetLoad then
+          targets[i]=targetLoad-MDSs[i]["load"]
+        end
+      end
+    end
+  )";
+  EXPECT_TRUE(parses(listing4));
+}
+
+}  // namespace
+}  // namespace mantle::lua

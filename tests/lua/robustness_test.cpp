@@ -1,0 +1,174 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "lua/interp.hpp"
+
+/// Edge cases and abuse-resistance for luam: policies come from
+/// administrators, so the interpreter must fail cleanly, never crash,
+/// and keep error messages actionable.
+
+namespace mantle::lua {
+namespace {
+
+Value run1(Interp& in, const std::string& src) {
+  RunResult r = in.run(src);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.first();
+}
+
+TEST(Robustness, DeeplyNestedTables) {
+  Interp in;
+  const char* src = R"(
+    local t = {}
+    local cur = t
+    for i = 1, 50 do cur.next = {} cur = cur.next end
+    cur.value = 42
+    cur = t
+    for i = 1, 50 do cur = cur.next end
+    return cur.value
+  )";
+  EXPECT_DOUBLE_EQ(run1(in, src).number(), 42.0);
+}
+
+TEST(Robustness, ClosuresShareLoopVariableScope) {
+  Interp in;
+  // Each numeric-for iteration gets a fresh scope, so closures capture
+  // distinct variables (Lua semantics).
+  const char* src = R"(
+    local fns = {}
+    for i = 1, 3 do fns[i] = function() return i end end
+    return fns[1]() * 100 + fns[2]() * 10 + fns[3]()
+  )";
+  EXPECT_DOUBLE_EQ(run1(in, src).number(), 123.0);
+}
+
+TEST(Robustness, LongConcatChain) {
+  Interp in;
+  const char* src = R"(
+    local s = ''
+    for i = 1, 200 do s = s .. 'x' end
+    return #s
+  )";
+  EXPECT_DOUBLE_EQ(run1(in, src).number(), 200.0);
+}
+
+TEST(Robustness, FractionalForStep) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(
+      run1(in, "local n=0 for i=0,1,0.25 do n=n+1 end return n").number(), 5.0);
+}
+
+TEST(Robustness, NegativeZeroAndInfinities) {
+  Interp in;
+  EXPECT_TRUE(run1(in, "return 0 == -0").boolean());
+  EXPECT_TRUE(run1(in, "return 1/0 > 1e308").boolean());
+  EXPECT_FALSE(run1(in, "return (0/0) == (0/0)").boolean());  // NaN
+}
+
+TEST(Robustness, NaNTableKeyRejected) {
+  Interp in;
+  RunResult r = in.run("local t = {} t[0/0] = 1");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("NaN"), std::string::npos);
+}
+
+TEST(Robustness, ErrorLineNumbersSurviveMultilineScripts) {
+  Interp in;
+  RunResult r = in.run("x = 1\ny = 2\nz = missing_fn()\n", "balancer");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("balancer:3"), std::string::npos) << r.error;
+}
+
+TEST(Robustness, GlobalsIsolatedBetweenInterpreters) {
+  Interp a;
+  Interp b;
+  a.run("leak = 42");
+  EXPECT_TRUE(b.run("return leak").first().is_nil());
+}
+
+TEST(Robustness, HugeStringRepWithinBudget) {
+  Interp in;
+  in.set_budget(1000000);
+  RunResult r = in.run("return #string.rep('ab', 10000)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.first().number(), 20000.0);
+}
+
+TEST(Robustness, RecursiveTablePrintDoesNotHang) {
+  Interp in;
+  // Self-referencing tables must not recurse in tostring.
+  RunResult r = in.run("local t = {} t.self = t return tostring(t)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.first().str().find("table"), std::string::npos);
+}
+
+TEST(Robustness, ManySmallRunsDoNotLeakState) {
+  Interp in;
+  in.set_budget(100000);
+  for (int i = 0; i < 500; ++i) {
+    RunResult r = in.run("local x = " + std::to_string(i) + " return x");
+    ASSERT_TRUE(r.ok);
+    EXPECT_DOUBLE_EQ(r.first().number(), static_cast<double>(i));
+  }
+}
+
+TEST(Robustness, BudgetExhaustionInsideFunctionCall) {
+  Interp in;
+  in.set_budget(5000);
+  RunResult r = in.run(
+      "function spin() while true do end end\n"
+      "spin()");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(Robustness, BreakOutsideLoopIsHarmlessNoCrash) {
+  // Lua 5.1 rejects this at parse time; we accept either a parse error
+  // or a clean no-op, but never a crash.
+  Interp in;
+  RunResult r = in.run("break");
+  (void)r;
+  SUCCEED();
+}
+
+TEST(Robustness, MixedNumericStringKeysStayDistinct) {
+  Interp in;
+  const char* src = R"(
+    local t = {}
+    t[1] = 'num'
+    t['1'] = 'str'
+    return t[1] .. '/' .. t['1']
+  )";
+  EXPECT_EQ(run1(in, src).str(), "num/str");
+}
+
+TEST(Robustness, WhileConditionBudgetCharged) {
+  // Budget must be charged on the condition itself, not only the body:
+  // `while expensive() do end` with an empty body still terminates.
+  Interp in;
+  in.set_budget(10000);
+  RunResult r = in.run("local i = 0 while i < 1e9 do i = i + 1 end");
+  EXPECT_FALSE(r.ok);
+}
+
+class ArithmeticIdentity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArithmeticIdentity, ModuloMatchesLuaDefinition) {
+  // a % b == a - floor(a/b)*b for all sign combinations.
+  Interp in;
+  const double a = GetParam();
+  for (const double b : {3.0, -3.0, 2.5, -2.5}) {
+    char src[128];
+    std::snprintf(src, sizeof(src), "return %.17g %% %.17g", a, b);
+    RunResult r = in.run(src);
+    ASSERT_TRUE(r.ok) << r.error;
+    const double expect = a - std::floor(a / b) * b;
+    EXPECT_NEAR(r.first().number(), expect, 1e-12) << a << " % " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ArithmeticIdentity,
+                         ::testing::Values(7.0, -7.0, 0.5, -0.5, 0.0, 100.25));
+
+}  // namespace
+}  // namespace mantle::lua

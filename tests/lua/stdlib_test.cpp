@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "lua/interp.hpp"
+
+namespace mantle::lua {
+namespace {
+
+Value run1(Interp& in, const std::string& src) {
+  RunResult r = in.run(src);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.first();
+}
+
+double num(Interp& in, const std::string& src) {
+  const Value v = run1(in, src);
+  EXPECT_TRUE(v.is_number()) << "got " << v.type_name();
+  return v.is_number() ? v.number() : 0.0;
+}
+
+TEST(Stdlib, MaxMinGlobals) {
+  // Table 2 of the paper: max(a,b), min(a,b) are env globals.
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return max(3, 7)"), 7.0);
+  EXPECT_DOUBLE_EQ(num(in, "return min(3, 7)"), 3.0);
+  EXPECT_DOUBLE_EQ(num(in, "return max(1, 5, 2, 4)"), 5.0);
+  EXPECT_FALSE(in.run("return max({}, 1)").ok);
+}
+
+TEST(Stdlib, TypeAndToString) {
+  Interp in;
+  EXPECT_EQ(run1(in, "return type(nil)").str(), "nil");
+  EXPECT_EQ(run1(in, "return type(1)").str(), "number");
+  EXPECT_EQ(run1(in, "return type('s')").str(), "string");
+  EXPECT_EQ(run1(in, "return type({})").str(), "table");
+  EXPECT_EQ(run1(in, "return type(print)").str(), "function");
+  EXPECT_EQ(run1(in, "return tostring(42)").str(), "42");
+  EXPECT_EQ(run1(in, "return tostring(2.5)").str(), "2.5");
+  EXPECT_EQ(run1(in, "return tostring(true)").str(), "true");
+}
+
+TEST(Stdlib, ToNumber) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return tonumber('3.5')"), 3.5);
+  EXPECT_TRUE(run1(in, "return tonumber('zzz')").is_nil());
+  EXPECT_TRUE(run1(in, "return tonumber({})").is_nil());
+}
+
+TEST(Stdlib, AssertAndError) {
+  Interp in;
+  EXPECT_TRUE(in.run("assert(true)").ok);
+  RunResult r = in.run("assert(false, 'boom')");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("boom"), std::string::npos);
+  r = in.run("error('custom failure')");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("custom failure"), std::string::npos);
+}
+
+TEST(Stdlib, MathBasics) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return math.floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(num(in, "return math.ceil(2.1)"), 3.0);
+  EXPECT_DOUBLE_EQ(num(in, "return math.abs(-4)"), 4.0);
+  EXPECT_DOUBLE_EQ(num(in, "return math.sqrt(81)"), 9.0);
+  EXPECT_DOUBLE_EQ(num(in, "return math.pow(2, 8)"), 256.0);
+  EXPECT_DOUBLE_EQ(num(in, "return math.fmod(7, 3)"), 1.0);
+  EXPECT_GT(num(in, "return math.huge"), 1e300);
+  EXPECT_NEAR(num(in, "return math.exp(1)"), 2.718281828, 1e-8);
+  EXPECT_NEAR(num(in, "return math.log(math.exp(2))"), 2.0, 1e-12);
+}
+
+TEST(Stdlib, MathRandomIsDeterministicPerSeed) {
+  Interp a;
+  Interp b;
+  a.seed_random(7);
+  b.seed_random(7);
+  const double x = num(a, "return math.random()");
+  const double y = num(b, "return math.random()");
+  EXPECT_DOUBLE_EQ(x, y);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LT(x, 1.0);
+  // Ranged forms respect bounds.
+  for (int i = 0; i < 50; ++i) {
+    const double v = num(a, "return math.random(3, 5)");
+    EXPECT_GE(v, 3.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+TEST(Stdlib, StringOps) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return string.len('abcd')"), 4.0);
+  EXPECT_EQ(run1(in, "return string.sub('balancer', 1, 3)").str(), "bal");
+  EXPECT_EQ(run1(in, "return string.sub('balancer', -3)").str(), "cer");
+  EXPECT_EQ(run1(in, "return string.upper('mds')").str(), "MDS");
+  EXPECT_EQ(run1(in, "return string.lower('MDS')").str(), "mds");
+  EXPECT_EQ(run1(in, "return string.rep('ab', 3)").str(), "ababab");
+}
+
+TEST(Stdlib, StringFind) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return string.find('greedy_spill', 'spill')"), 8.0);
+  EXPECT_TRUE(run1(in, "return string.find('abc', 'zzz')").is_nil());
+}
+
+TEST(Stdlib, StringFormat) {
+  Interp in;
+  EXPECT_EQ(run1(in, "return string.format('%d reqs', 42)").str(), "42 reqs");
+  EXPECT_EQ(run1(in, "return string.format('%.2f', 3.14159)").str(), "3.14");
+  EXPECT_EQ(run1(in, "return string.format('%s=%g', 'load', 0.5)").str(), "load=0.5");
+  EXPECT_EQ(run1(in, "return string.format('%5d|', 42)").str(), "   42|");
+  EXPECT_EQ(run1(in, "return string.format('100%%')").str(), "100%");
+  EXPECT_FALSE(in.run("return string.format('%y', 1)").ok);
+}
+
+TEST(Stdlib, TableInsertRemove) {
+  Interp in;
+  const char* src = R"(
+    local t = {}
+    table.insert(t, 'a')
+    table.insert(t, 'b')
+    table.insert(t, 1, 'front')
+    local popped = table.remove(t)      -- 'b'
+    local shifted = table.remove(t, 1)  -- 'front'
+    return shifted .. popped .. t[1] .. #t
+  )";
+  EXPECT_EQ(run1(in, src).str(), "frontba1");
+}
+
+TEST(Stdlib, TableConcat) {
+  Interp in;
+  EXPECT_EQ(run1(in, "return table.concat({'a','b','c'}, '-')").str(), "a-b-c");
+  EXPECT_EQ(run1(in, "return table.concat({})").str(), "");
+  EXPECT_EQ(run1(in, "return table.concat({1, 2}, ',')").str(), "1,2");
+}
+
+TEST(Stdlib, TableSortDefaultOrder) {
+  Interp in;
+  const char* src = R"(
+    local t = {3, 1, 2}
+    table.sort(t)
+    return t[1] * 100 + t[2] * 10 + t[3]
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 123.0);
+}
+
+TEST(Stdlib, PairsCoversNumericAndStringKeys) {
+  Interp in;
+  const char* src = R"(
+    local t = {}
+    t[2] = 'two' t[1] = 'one' t['z'] = 'zee' t['a'] = 'ay'
+    local keys = ''
+    for k, v in pairs(t) do keys = keys .. tostring(k) end
+    return keys
+  )";
+  // Numeric keys first (ordered), then string keys (ordered).
+  EXPECT_EQ(run1(in, src).str(), "12az");
+}
+
+TEST(Stdlib, NextOnEmptyTable) {
+  Interp in;
+  EXPECT_TRUE(run1(in, "return next({})").is_nil());
+}
+
+TEST(Stdlib, PcallCatchesErrors) {
+  Interp in;
+  const char* src = R"(
+    local ok, err = pcall(function() return nil + 1 end)
+    return tostring(ok) .. '|' .. tostring(string.find(err, 'arithmetic') ~= nil)
+  )";
+  EXPECT_EQ(run1(in, src).str(), "false|true");
+}
+
+TEST(Stdlib, PcallPassesThroughResults) {
+  Interp in;
+  const char* src = R"(
+    local ok, a, b = pcall(function(x) return x, x * 2 end, 21)
+    return (ok and a + b) or -1
+  )";
+  EXPECT_DOUBLE_EQ(num(in, src), 63.0);
+}
+
+TEST(Stdlib, PcallOnNonFunction) {
+  Interp in;
+  EXPECT_EQ(run1(in, "local ok = pcall(42) return tostring(ok)").str(), "false");
+}
+
+TEST(Stdlib, PcallDoesNotDefeatTheBudget) {
+  // A policy cannot hide an infinite loop behind pcall: the budget is
+  // global to the run, so the wrapped loop still terminates the chunk.
+  Interp in;
+  in.set_budget(20000);
+  RunResult r = in.run("pcall(function() while true do end end) while true do end");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Stdlib, SelectCountAndSlice) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "return select('#', 'a', 'b', 'c')"), 3.0);
+  EXPECT_EQ(run1(in, "return select(2, 'a', 'b', 'c')").str(), "b");
+  EXPECT_DOUBLE_EQ(num(in, "local x, y = select(2, 10, 20, 30) return x + y"), 50.0);
+  EXPECT_FALSE(in.run("return select(0, 'a')").ok);
+}
+
+TEST(Stdlib, Unpack) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(num(in, "local a, b, c = unpack({7, 8, 9}) return a*100+b*10+c"),
+                   789.0);
+  EXPECT_DOUBLE_EQ(num(in, "local x, y = unpack({1, 2, 3, 4}, 2, 3) return x*10+y"),
+                   23.0);
+  EXPECT_DOUBLE_EQ(num(in, "return max(unpack({3, 9, 4}))"), 9.0);
+}
+
+}  // namespace
+}  // namespace mantle::lua

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "mds/types.hpp"
+
+namespace mantle::mds {
+namespace {
+
+TEST(Frag, RootContainsEverything) {
+  const frag_t root;
+  EXPECT_TRUE(root.is_root());
+  EXPECT_TRUE(root.contains(0u));
+  EXPECT_TRUE(root.contains(0xffffffffu));
+  EXPECT_TRUE(root.contains(hash_dentry_name("anything")));
+}
+
+TEST(Frag, SplitByOneBitPartitions) {
+  const frag_t root;
+  const frag_t left = root.child(0, 1);
+  const frag_t right = root.child(1, 1);
+  EXPECT_EQ(left.bits(), 1);
+  EXPECT_EQ(right.bits(), 1);
+  EXPECT_TRUE(left.contains(0x00000000u));
+  EXPECT_TRUE(left.contains(0x7fffffffu));
+  EXPECT_FALSE(left.contains(0x80000000u));
+  EXPECT_TRUE(right.contains(0x80000000u));
+  EXPECT_TRUE(right.contains(0xffffffffu));
+  EXPECT_FALSE(right.contains(0x7fffffffu));
+}
+
+TEST(Frag, SplitByThreeBitsMakesEightDisjointChildren) {
+  // The paper: "the first iteration fragments into 2^3 = 8 dirfrags".
+  const frag_t root;
+  for (std::uint32_t h : {0u, 0x12345678u, 0x80000000u, 0xdeadbeefu, 0xffffffffu}) {
+    int covering = 0;
+    for (std::uint32_t i = 0; i < 8; ++i)
+      covering += root.child(i, 3).contains(h) ? 1 : 0;
+    EXPECT_EQ(covering, 1) << "hash " << h;
+  }
+}
+
+TEST(Frag, ParentInvertsChild) {
+  const frag_t root;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const frag_t c = root.child(i, 3);
+    EXPECT_EQ(c.parent(3), root);
+    EXPECT_EQ(c.index_under_parent(3), i);
+  }
+  const frag_t deep = root.child(5, 3).child(2, 2);
+  EXPECT_EQ(deep.bits(), 5);
+  EXPECT_EQ(deep.parent(2), root.child(5, 3));
+  EXPECT_EQ(deep.index_under_parent(2), 2u);
+}
+
+TEST(Frag, ContainsFragIsReflexiveAndHierarchical) {
+  const frag_t root;
+  const frag_t a = root.child(1, 1);
+  const frag_t aa = a.child(0, 1);
+  EXPECT_TRUE(root.contains(a));
+  EXPECT_TRUE(root.contains(aa));
+  EXPECT_TRUE(a.contains(aa));
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_FALSE(aa.contains(a));
+  EXPECT_FALSE(a.contains(root.child(0, 1)));
+}
+
+TEST(Frag, NestedSplitsPreservePartition) {
+  // Split root into 4, then split child 2 into 4 again: the 7 leaves must
+  // still partition the hash space.
+  const frag_t root;
+  std::vector<frag_t> leaves;
+  for (std::uint32_t i = 0; i < 4; ++i)
+    if (i != 2) leaves.push_back(root.child(i, 2));
+  for (std::uint32_t i = 0; i < 4; ++i)
+    leaves.push_back(root.child(2, 2).child(i, 2));
+  for (std::uint32_t h = 0; h < 64; ++h) {
+    const std::uint32_t hash = h * 0x04000001u;
+    int covering = 0;
+    for (const frag_t f : leaves) covering += f.contains(hash) ? 1 : 0;
+    EXPECT_EQ(covering, 1) << "hash " << hash;
+  }
+}
+
+TEST(Frag, OrderingIsDeterministic) {
+  const frag_t root;
+  EXPECT_LT(root.child(0, 1), root.child(1, 1));
+  EXPECT_EQ(root.child(0, 1), root.child(0, 1));
+}
+
+TEST(Frag, StrRendering) {
+  const frag_t root;
+  EXPECT_EQ(root.str(), "0x00000000/0");
+  EXPECT_EQ(root.child(1, 1).str(), "0x80000000/1");
+}
+
+TEST(Hash, StableAndSpread) {
+  EXPECT_EQ(hash_dentry_name("file1"), hash_dentry_name("file1"));
+  EXPECT_NE(hash_dentry_name("file1"), hash_dentry_name("file2"));
+  // Names should spread across a 3-bit split reasonably (not all in one).
+  int buckets[8] = {0};
+  const frag_t root;
+  for (int i = 0; i < 800; ++i) {
+    const std::uint32_t h = hash_dentry_name("file" + std::to_string(i));
+    for (std::uint32_t b = 0; b < 8; ++b)
+      if (root.child(b, 3).contains(h)) ++buckets[b];
+  }
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_GT(buckets[b], 40) << "bucket " << b;
+    EXPECT_LT(buckets[b], 200) << "bucket " << b;
+  }
+}
+
+TEST(DirFragId, Ordering) {
+  const DirFragId a{1, frag_t()};
+  const DirFragId b{1, frag_t().child(1, 1)};
+  const DirFragId c{2, frag_t()};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (DirFragId{1, frag_t()}));
+}
+
+}  // namespace
+}  // namespace mantle::mds

@@ -1,0 +1,80 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mantle::sim {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameTimestampIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  Time seen = 0;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Engine, PastTimesClampToNow) {
+  Engine e;
+  Time seen = 0;
+  e.schedule_at(100, [&] {
+    e.schedule_at(10, [&] { seen = e.now(); });  // "10" is in the past
+  });
+  e.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  for (Time t = 0; t < 100; t += 10) e.schedule_at(t, [&] { ++fired; });
+  e.run_until(45);
+  EXPECT_EQ(fired, 5);  // t = 0,10,20,30,40
+  EXPECT_EQ(e.pending(), 5u);
+  e.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, EventsCanRescheduleThemselves) {
+  Engine e;
+  int count = 0;
+  std::function<void()> self = [&] {
+    ++count;
+    if (count < 5) e.schedule_after(10, self);
+  };
+  e.schedule_at(0, self);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 40u);
+}
+
+TEST(Engine, DispatchCountReported) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(static_cast<Time>(i), [] {});
+  EXPECT_EQ(e.run(), 7u);
+  EXPECT_TRUE(e.empty());
+}
+
+}  // namespace
+}  // namespace mantle::sim

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "workloads/compile.hpp"
+#include "workloads/create_heavy.hpp"
+#include "workloads/trace.hpp"
+
+namespace mantle::workloads {
+namespace {
+
+using cluster::OpType;
+
+TEST(CreateHeavy, EmitsMkdirThenCreates) {
+  Rng rng(1);
+  auto wl = make_private_create_workload(3, 5);
+  auto first = wl->next(rng);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->op, OpType::Mkdir);
+  EXPECT_EQ(first->dir_path, "/");
+  EXPECT_EQ(first->name, "client3");
+  for (int i = 0; i < 5; ++i) {
+    auto op = wl->next(rng);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_EQ(op->op, OpType::Create);
+    EXPECT_EQ(op->dir_path, "/client3");
+    EXPECT_EQ(op->name, "f" + std::to_string(i));
+  }
+  EXPECT_FALSE(wl->next(rng).has_value());
+}
+
+TEST(CreateHeavy, SharedDirNamesAreClientUnique) {
+  Rng rng(1);
+  auto a = make_shared_create_workload(0, "/shared", 2);
+  auto b = make_shared_create_workload(1, "/shared", 2);
+  a->next(rng);  // mkdir
+  b->next(rng);  // mkdir
+  const auto fa = a->next(rng);
+  const auto fb = b->next(rng);
+  ASSERT_TRUE(fa && fb);
+  EXPECT_NE(fa->name, fb->name);
+  EXPECT_EQ(fa->dir_path, "/shared");
+  EXPECT_EQ(fb->dir_path, "/shared");
+}
+
+TEST(CreateHeavy, ThinkTimeIsPositiveAndSeeded) {
+  Rng r1(9);
+  Rng r2(9);
+  CreateHeavyWorkload::Options opt;
+  opt.think_mean = 500;
+  CreateHeavyWorkload w1(opt);
+  CreateHeavyWorkload w2(opt);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(w1.think_time(r1), w2.think_time(r2));
+}
+
+TEST(Compile, PhasesProgressInOrder) {
+  Rng rng(1);
+  CompileOptions opt;
+  opt.root = "/c";
+  opt.files_per_dir = 4;
+  opt.compile_ops = 50;
+  opt.read_ops = 20;
+  opt.link_rounds = 1;
+  CompileWorkload wl(opt);
+
+  EXPECT_EQ(wl.phase(), CompileWorkload::Phase::Untar);
+  std::size_t untar_ops = 0;
+  std::size_t mkdirs = 0;
+  while (wl.phase() == CompileWorkload::Phase::Untar) {
+    auto op = wl.next(rng);
+    ASSERT_TRUE(op.has_value());
+    ++untar_ops;
+    if (op->op == OpType::Mkdir) ++mkdirs;
+    ASSERT_LT(untar_ops, 10000u);
+  }
+  // Root mkdir + one per tree directory.
+  EXPECT_EQ(mkdirs, compile_tree_spec().size() + 1);
+
+  std::size_t compile_ops = 0;
+  while (wl.phase() == CompileWorkload::Phase::Compile) {
+    auto op = wl.next(rng);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_NE(op->op, OpType::Readdir);
+    ++compile_ops;
+  }
+  EXPECT_EQ(compile_ops, opt.compile_ops);
+
+  while (wl.phase() == CompileWorkload::Phase::Read) {
+    auto op = wl.next(rng);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_EQ(op->op, OpType::Getattr);
+  }
+
+  std::size_t readdirs = 0;
+  while (wl.phase() == CompileWorkload::Phase::Link) {
+    auto op = wl.next(rng);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_EQ(op->op, OpType::Readdir);
+    ++readdirs;
+  }
+  EXPECT_EQ(readdirs, compile_tree_spec().size() * opt.link_rounds);
+  EXPECT_FALSE(wl.next(rng).has_value());
+}
+
+TEST(Compile, HotDirsDominateCompilePhase) {
+  Rng rng(42);
+  CompileOptions opt;
+  opt.files_per_dir = 4;
+  opt.compile_ops = 4000;
+  opt.root = "/c";
+  CompileWorkload wl(opt);
+  // Drain untar.
+  while (wl.phase() == CompileWorkload::Phase::Untar) wl.next(rng);
+  std::map<std::string, int> dir_hits;
+  while (wl.phase() == CompileWorkload::Phase::Compile) {
+    auto op = wl.next(rng);
+    ASSERT_TRUE(op.has_value());
+    ++dir_hits[op->dir_path];
+  }
+  // arch+kernel+fs+mm should absorb well over half of the compile ops,
+  // reproducing the Figure 1 hotspot structure.
+  const int hot = dir_hits["/c/arch"] + dir_hits["/c/kernel"] +
+                  dir_hits["/c/fs"] + dir_hits["/c/mm"];
+  EXPECT_GT(hot, 4000 / 2);
+}
+
+TEST(Compile, TreeSpecWeightsArePlausible) {
+  double total = 0.0;
+  for (const auto& d : compile_tree_spec()) {
+    EXPECT_GT(d.hot_weight, 0.0);
+    EXPECT_GT(d.size_factor, 0.0);
+    total += d.hot_weight;
+  }
+  EXPECT_NEAR(total, 1.0, 0.25);
+}
+
+TEST(Trace, RoundTripsThroughText) {
+  std::vector<sim::WorkOp> ops = {
+      {OpType::Mkdir, "/", "a"},
+      {OpType::Create, "/a", "f1"},
+      {OpType::Readdir, "/a", ""},
+      {OpType::Unlink, "/a", "f1"},
+  };
+  const std::string text = format_trace(ops);
+  const auto parsed = parse_trace(text);
+  ASSERT_EQ(parsed.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(parsed[i].op, ops[i].op);
+    EXPECT_EQ(parsed[i].dir_path, ops[i].dir_path);
+    EXPECT_EQ(parsed[i].name, ops[i].name);
+  }
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlanks) {
+  const auto ops = parse_trace("# header\n\ncreate /d f\n");
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].op, OpType::Create);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_trace("fly /d x"), std::runtime_error);
+  EXPECT_THROW(parse_trace("create"), std::runtime_error);
+}
+
+TEST(Trace, RecordAndReplayMatchOriginal) {
+  Rng rng(5);
+  auto wl = make_private_create_workload(0, 10);
+  const auto ops = record_workload(*wl, rng);
+  EXPECT_EQ(ops.size(), 11u);  // mkdir + 10 creates
+  TraceWorkload replay(ops);
+  Rng rng2(5);
+  for (const auto& expected : ops) {
+    auto got = replay.next(rng2);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->name, expected.name);
+  }
+  EXPECT_FALSE(replay.next(rng2).has_value());
+}
+
+}  // namespace
+}  // namespace mantle::workloads
