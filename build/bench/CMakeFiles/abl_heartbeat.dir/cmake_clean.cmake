@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_heartbeat.dir/abl_heartbeat.cpp.o"
+  "CMakeFiles/abl_heartbeat.dir/abl_heartbeat.cpp.o.d"
+  "abl_heartbeat"
+  "abl_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_need_min.dir/abl_need_min.cpp.o"
+  "CMakeFiles/abl_need_min.dir/abl_need_min.cpp.o.d"
+  "abl_need_min"
+  "abl_need_min.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_need_min.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_selectors.dir/abl_selectors.cpp.o"
+  "CMakeFiles/abl_selectors.dir/abl_selectors.cpp.o.d"
+  "abl_selectors"
+  "abl_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_hotspots.dir/fig01_hotspots.cpp.o"
+  "CMakeFiles/fig01_hotspots.dir/fig01_hotspots.cpp.o.d"
+  "fig01_hotspots"
+  "fig01_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

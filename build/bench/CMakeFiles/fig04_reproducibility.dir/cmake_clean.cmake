@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_reproducibility.dir/fig04_reproducibility.cpp.o"
+  "CMakeFiles/fig04_reproducibility.dir/fig04_reproducibility.cpp.o.d"
+  "fig04_reproducibility"
+  "fig04_reproducibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_reproducibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_mds_capacity.dir/fig05_mds_capacity.cpp.o"
+  "CMakeFiles/fig05_mds_capacity.dir/fig05_mds_capacity.cpp.o.d"
+  "fig05_mds_capacity"
+  "fig05_mds_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_mds_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_spill_timeline.dir/fig07_spill_timeline.cpp.o"
+  "CMakeFiles/fig07_spill_timeline.dir/fig07_spill_timeline.cpp.o.d"
+  "fig07_spill_timeline"
+  "fig07_spill_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_spill_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

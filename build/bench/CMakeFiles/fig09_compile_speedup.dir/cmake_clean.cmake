@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_compile_speedup.dir/fig09_compile_speedup.cpp.o"
+  "CMakeFiles/fig09_compile_speedup.dir/fig09_compile_speedup.cpp.o.d"
+  "fig09_compile_speedup"
+  "fig09_compile_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_compile_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

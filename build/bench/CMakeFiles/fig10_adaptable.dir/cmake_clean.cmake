@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_adaptable.dir/fig10_adaptable.cpp.o"
+  "CMakeFiles/fig10_adaptable.dir/fig10_adaptable.cpp.o.d"
+  "fig10_adaptable"
+  "fig10_adaptable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_adaptable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_policies.dir/tab01_policies.cpp.o"
+  "CMakeFiles/tab01_policies.dir/tab01_policies.cpp.o.d"
+  "tab01_policies"
+  "tab01_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_cluster.dir/compile_cluster.cpp.o"
+  "CMakeFiles/compile_cluster.dir/compile_cluster.cpp.o.d"
+  "compile_cluster"
+  "compile_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

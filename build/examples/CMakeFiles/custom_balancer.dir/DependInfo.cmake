@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_balancer.cpp" "examples/CMakeFiles/custom_balancer.dir/custom_balancer.cpp.o" "gcc" "examples/CMakeFiles/custom_balancer.dir/custom_balancer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mantle_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mantle_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/balancers/CMakeFiles/mantle_balancers.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mantle_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/lua/CMakeFiles/mantle_lua.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mantle_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mantle_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mds/CMakeFiles/mantle_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/mantle_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mantle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

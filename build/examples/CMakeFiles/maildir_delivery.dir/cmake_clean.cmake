@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maildir_delivery.dir/maildir_delivery.cpp.o"
+  "CMakeFiles/maildir_delivery.dir/maildir_delivery.cpp.o.d"
+  "maildir_delivery"
+  "maildir_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maildir_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

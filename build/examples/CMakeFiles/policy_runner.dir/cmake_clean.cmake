@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_runner.dir/policy_runner.cpp.o"
+  "CMakeFiles/policy_runner.dir/policy_runner.cpp.o.d"
+  "policy_runner"
+  "policy_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

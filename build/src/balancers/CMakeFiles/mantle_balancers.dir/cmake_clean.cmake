@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_balancers.dir/builtin.cpp.o"
+  "CMakeFiles/mantle_balancers.dir/builtin.cpp.o.d"
+  "CMakeFiles/mantle_balancers.dir/feedback.cpp.o"
+  "CMakeFiles/mantle_balancers.dir/feedback.cpp.o.d"
+  "libmantle_balancers.a"
+  "libmantle_balancers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_balancers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmantle_balancers.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_cluster.dir/balancer.cpp.o"
+  "CMakeFiles/mantle_cluster.dir/balancer.cpp.o.d"
+  "CMakeFiles/mantle_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/mantle_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/mantle_cluster.dir/config_bridge.cpp.o"
+  "CMakeFiles/mantle_cluster.dir/config_bridge.cpp.o.d"
+  "libmantle_cluster.a"
+  "libmantle_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_common.dir/config.cpp.o"
+  "CMakeFiles/mantle_common.dir/config.cpp.o.d"
+  "CMakeFiles/mantle_common.dir/rng.cpp.o"
+  "CMakeFiles/mantle_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mantle_common.dir/time.cpp.o"
+  "CMakeFiles/mantle_common.dir/time.cpp.o.d"
+  "CMakeFiles/mantle_common.dir/timeline.cpp.o"
+  "CMakeFiles/mantle_common.dir/timeline.cpp.o.d"
+  "libmantle_common.a"
+  "libmantle_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

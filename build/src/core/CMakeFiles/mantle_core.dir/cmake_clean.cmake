@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_core.dir/mantle.cpp.o"
+  "CMakeFiles/mantle_core.dir/mantle.cpp.o.d"
+  "libmantle_core.a"
+  "libmantle_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

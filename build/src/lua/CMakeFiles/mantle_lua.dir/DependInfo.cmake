@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lua/interp.cpp" "src/lua/CMakeFiles/mantle_lua.dir/interp.cpp.o" "gcc" "src/lua/CMakeFiles/mantle_lua.dir/interp.cpp.o.d"
+  "/root/repo/src/lua/lexer.cpp" "src/lua/CMakeFiles/mantle_lua.dir/lexer.cpp.o" "gcc" "src/lua/CMakeFiles/mantle_lua.dir/lexer.cpp.o.d"
+  "/root/repo/src/lua/parser.cpp" "src/lua/CMakeFiles/mantle_lua.dir/parser.cpp.o" "gcc" "src/lua/CMakeFiles/mantle_lua.dir/parser.cpp.o.d"
+  "/root/repo/src/lua/stdlib.cpp" "src/lua/CMakeFiles/mantle_lua.dir/stdlib.cpp.o" "gcc" "src/lua/CMakeFiles/mantle_lua.dir/stdlib.cpp.o.d"
+  "/root/repo/src/lua/value.cpp" "src/lua/CMakeFiles/mantle_lua.dir/value.cpp.o" "gcc" "src/lua/CMakeFiles/mantle_lua.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mantle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_lua.dir/interp.cpp.o"
+  "CMakeFiles/mantle_lua.dir/interp.cpp.o.d"
+  "CMakeFiles/mantle_lua.dir/lexer.cpp.o"
+  "CMakeFiles/mantle_lua.dir/lexer.cpp.o.d"
+  "CMakeFiles/mantle_lua.dir/parser.cpp.o"
+  "CMakeFiles/mantle_lua.dir/parser.cpp.o.d"
+  "CMakeFiles/mantle_lua.dir/stdlib.cpp.o"
+  "CMakeFiles/mantle_lua.dir/stdlib.cpp.o.d"
+  "CMakeFiles/mantle_lua.dir/value.cpp.o"
+  "CMakeFiles/mantle_lua.dir/value.cpp.o.d"
+  "libmantle_lua.a"
+  "libmantle_lua.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_lua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

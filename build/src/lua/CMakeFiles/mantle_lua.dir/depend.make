@@ -1,0 +1,2 @@
+# Empty dependencies file for mantle_lua.
+# This may be replaced when dependencies are built.

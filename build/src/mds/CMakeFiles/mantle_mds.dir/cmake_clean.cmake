@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_mds.dir/namespace.cpp.o"
+  "CMakeFiles/mantle_mds.dir/namespace.cpp.o.d"
+  "libmantle_mds.a"
+  "libmantle_mds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

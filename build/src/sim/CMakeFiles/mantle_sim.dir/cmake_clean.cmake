@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_sim.dir/client.cpp.o"
+  "CMakeFiles/mantle_sim.dir/client.cpp.o.d"
+  "CMakeFiles/mantle_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mantle_sim.dir/scenario.cpp.o.d"
+  "libmantle_sim.a"
+  "libmantle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_sim_core.dir/engine.cpp.o"
+  "CMakeFiles/mantle_sim_core.dir/engine.cpp.o.d"
+  "libmantle_sim_core.a"
+  "libmantle_sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

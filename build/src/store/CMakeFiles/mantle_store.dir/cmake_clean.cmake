@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_store.dir/object_store.cpp.o"
+  "CMakeFiles/mantle_store.dir/object_store.cpp.o.d"
+  "libmantle_store.a"
+  "libmantle_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

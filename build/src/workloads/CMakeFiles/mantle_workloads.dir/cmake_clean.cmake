@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mantle_workloads.dir/compile.cpp.o"
+  "CMakeFiles/mantle_workloads.dir/compile.cpp.o.d"
+  "CMakeFiles/mantle_workloads.dir/create_heavy.cpp.o"
+  "CMakeFiles/mantle_workloads.dir/create_heavy.cpp.o.d"
+  "CMakeFiles/mantle_workloads.dir/maildir.cpp.o"
+  "CMakeFiles/mantle_workloads.dir/maildir.cpp.o.d"
+  "CMakeFiles/mantle_workloads.dir/trace.cpp.o"
+  "CMakeFiles/mantle_workloads.dir/trace.cpp.o.d"
+  "libmantle_workloads.a"
+  "libmantle_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mantle_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mantle_workloads.
+# This may be replaced when dependencies are built.

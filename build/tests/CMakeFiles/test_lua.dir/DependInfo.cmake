@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lua/interp_test.cpp" "tests/CMakeFiles/test_lua.dir/lua/interp_test.cpp.o" "gcc" "tests/CMakeFiles/test_lua.dir/lua/interp_test.cpp.o.d"
+  "/root/repo/tests/lua/lexer_test.cpp" "tests/CMakeFiles/test_lua.dir/lua/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/test_lua.dir/lua/lexer_test.cpp.o.d"
+  "/root/repo/tests/lua/parser_test.cpp" "tests/CMakeFiles/test_lua.dir/lua/parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_lua.dir/lua/parser_test.cpp.o.d"
+  "/root/repo/tests/lua/robustness_test.cpp" "tests/CMakeFiles/test_lua.dir/lua/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_lua.dir/lua/robustness_test.cpp.o.d"
+  "/root/repo/tests/lua/stdlib_test.cpp" "tests/CMakeFiles/test_lua.dir/lua/stdlib_test.cpp.o" "gcc" "tests/CMakeFiles/test_lua.dir/lua/stdlib_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lua/CMakeFiles/mantle_lua.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mantle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lua.dir/lua/interp_test.cpp.o"
+  "CMakeFiles/test_lua.dir/lua/interp_test.cpp.o.d"
+  "CMakeFiles/test_lua.dir/lua/lexer_test.cpp.o"
+  "CMakeFiles/test_lua.dir/lua/lexer_test.cpp.o.d"
+  "CMakeFiles/test_lua.dir/lua/parser_test.cpp.o"
+  "CMakeFiles/test_lua.dir/lua/parser_test.cpp.o.d"
+  "CMakeFiles/test_lua.dir/lua/robustness_test.cpp.o"
+  "CMakeFiles/test_lua.dir/lua/robustness_test.cpp.o.d"
+  "CMakeFiles/test_lua.dir/lua/stdlib_test.cpp.o"
+  "CMakeFiles/test_lua.dir/lua/stdlib_test.cpp.o.d"
+  "test_lua"
+  "test_lua.pdb"
+  "test_lua[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mds/frag_test.cpp" "tests/CMakeFiles/test_mds.dir/mds/frag_test.cpp.o" "gcc" "tests/CMakeFiles/test_mds.dir/mds/frag_test.cpp.o.d"
+  "/root/repo/tests/mds/namespace_fuzz_test.cpp" "tests/CMakeFiles/test_mds.dir/mds/namespace_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_mds.dir/mds/namespace_fuzz_test.cpp.o.d"
+  "/root/repo/tests/mds/namespace_test.cpp" "tests/CMakeFiles/test_mds.dir/mds/namespace_test.cpp.o" "gcc" "tests/CMakeFiles/test_mds.dir/mds/namespace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mds/CMakeFiles/mantle_mds.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mantle_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

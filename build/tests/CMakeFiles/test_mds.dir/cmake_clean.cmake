@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mds.dir/mds/frag_test.cpp.o"
+  "CMakeFiles/test_mds.dir/mds/frag_test.cpp.o.d"
+  "CMakeFiles/test_mds.dir/mds/namespace_fuzz_test.cpp.o"
+  "CMakeFiles/test_mds.dir/mds/namespace_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_mds.dir/mds/namespace_test.cpp.o"
+  "CMakeFiles/test_mds.dir/mds/namespace_test.cpp.o.d"
+  "test_mds"
+  "test_mds.pdb"
+  "test_mds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
