@@ -26,6 +26,7 @@ double OriginalBalancer::mdsload(const HeartbeatPayload& hb) const {
 }
 
 bool OriginalBalancer::when(const ClusterView& view) {
+  if (view.size() == 0) return false;  // degenerate view: nothing to balance
   const double avg = view.total_load / static_cast<double>(view.size());
   return view.loads[static_cast<std::size_t>(view.whoami)] > avg;
 }
@@ -34,6 +35,7 @@ std::vector<double> OriginalBalancer::where(const ClusterView& view) {
   // Partition the cluster into exporters and importers around the mean and
   // hand my excess to importers in proportion to their deficit.
   std::vector<double> targets(view.size(), 0.0);
+  if (view.size() == 0) return targets;
   const double avg = view.total_load / static_cast<double>(view.size());
   const double my = view.loads[static_cast<std::size_t>(view.whoami)];
   const double excess = my - avg;
@@ -86,6 +88,7 @@ MdsRank GreedySpillEvenBalancer::bisect_target(int whoami0, int n) {
 }
 
 bool GreedySpillEvenBalancer::when(const ClusterView& view) {
+  if (view.size() == 0) return false;
   const auto me = static_cast<std::size_t>(view.whoami);
   MdsRank t = bisect_target(view.whoami, static_cast<int>(view.size()));
   if (t == kNoRank) return false;
@@ -112,6 +115,7 @@ std::vector<double> GreedySpillEvenBalancer::where(const ClusterView& view) {
 // ---------------------------------------------------------------------------
 
 bool FillSpillBalancer::when(const ClusterView& view) {
+  if (view.size() == 0) return false;
   const auto me = static_cast<std::size_t>(view.whoami);
   go_ = false;
   if (view.mdss[me].cpu_pct > opt_.cpu_threshold) {
@@ -141,6 +145,7 @@ std::vector<double> FillSpillBalancer::where(const ClusterView& view) {
 // ---------------------------------------------------------------------------
 
 bool AdaptableBalancer::when(const ClusterView& view) {
+  if (view.size() == 0) return false;
   const double my = view.loads[static_cast<std::size_t>(view.whoami)];
   double max_load = 0.0;
   for (const double l : view.loads) max_load = std::max(max_load, l);
@@ -163,6 +168,7 @@ bool AdaptableBalancer::when(const ClusterView& view) {
 
 std::vector<double> AdaptableBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
+  if (view.size() == 0) return targets;
   const double target_load =
       view.total_load / static_cast<double>(view.size());
   for (std::size_t i = 0; i < view.size(); ++i) {
@@ -183,12 +189,14 @@ double HashBalancer::metaload(const PopSnapshot& p) const {
 bool HashBalancer::when(const ClusterView& view) {
   // Hash placement ignores load entirely: whoever holds more than an even
   // share (entry-wise proxied by auth load) keeps pushing outwards.
+  if (view.size() == 0) return false;
   const double avg = view.total_load / static_cast<double>(view.size());
   return view.loads[static_cast<std::size_t>(view.whoami)] > avg * 1.05;
 }
 
 std::vector<double> HashBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
+  if (view.size() == 0) return targets;
   const double avg = view.total_load / static_cast<double>(view.size());
   for (std::size_t i = 0; i < view.size(); ++i) {
     if (static_cast<MdsRank>(i) == view.whoami) continue;

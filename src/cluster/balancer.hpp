@@ -56,8 +56,26 @@ struct ClusterView {
   std::vector<HeartbeatPayload> mdss;  // index = rank; [whoami] is fresh
   std::vector<double> loads;           // result of the mdsload policy
   double total_load = 0.0;
+  /// Laggy-peer detection: ranks whose last heartbeat is older than
+  /// laggy_factor * bal_interval are marked dead-or-laggy (0). Their
+  /// `loads` entry is zeroed, they are excluded from `total_load`, and the
+  /// mechanism refuses to export toward them regardless of what the
+  /// policy's where() says. Empty = everyone presumed alive (views built
+  /// by tests or the policy validator).
+  std::vector<std::uint8_t> alive;
 
   std::size_t size() const { return mdss.size(); }
+
+  bool is_alive(std::size_t rank) const {
+    return rank >= alive.size() || alive[rank] != 0;
+  }
+
+  std::size_t alive_count() const {
+    if (alive.empty()) return mdss.size();
+    std::size_t n = 0;
+    for (const std::uint8_t a : alive) n += a != 0;
+    return n;
+  }
 };
 
 /// An export candidate discovered while partitioning the namespace:

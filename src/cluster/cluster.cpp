@@ -14,6 +14,18 @@ using mantle::mds::hash_dentry_name;
 using mantle::mds::kNoInode;
 using mantle::mds::kNoRank;
 
+const char* recovery_kind_name(RecoveryEvent::Kind kind) {
+  switch (kind) {
+    case RecoveryEvent::Kind::Crash: return "crash";
+    case RecoveryEvent::Kind::MigrationAborted: return "migration-aborted";
+    case RecoveryEvent::Kind::TakeoverStart: return "takeover-start";
+    case RecoveryEvent::Kind::TakeoverComplete: return "takeover-complete";
+    case RecoveryEvent::Kind::RestartStart: return "restart-start";
+    case RecoveryEvent::Kind::ReplayComplete: return "replay-complete";
+  }
+  return "?";
+}
+
 const char* op_name(OpType op) {
   switch (op) {
     case OpType::Create: return "create";
@@ -109,12 +121,17 @@ void MdsNode::process_front() {
   sim::Engine& eng = cluster_.engine();
   auto& ns = cluster_.ns();
 
+  // Continuations scheduled below die with the process on a crash: they
+  // capture the current epoch and no-op if it has moved on.
+  const std::uint64_t ep = epoch_;
+
   const mantle::mds::Dir* d = ns.dir(r.dir);
   if (d == nullptr) {
     // Unknown directory: answer with an error after a lookup-ish cost.
     const Time svc = service_time(OpType::Lookup);
     busy_in_window_ += svc;
-    eng.schedule_after(svc, [this, r]() {
+    eng.schedule_after(svc, [this, ep, r]() {
+      if (ep != epoch_) return;
       Reply rep;
       rep.req_id = r.id;
       rep.client = r.client;
@@ -138,7 +155,9 @@ void MdsNode::process_front() {
     // The covering subtree is mid-migration: park the request with the
     // migration; it is re-injected at the importer on completion.
     cluster_.defer_to_migration(target, std::move(r));
-    eng.schedule_after(0, [this]() { process_front(); });
+    eng.schedule_after(0, [this, ep]() {
+      if (ep == epoch_) process_front();
+    });
     return;
   }
 
@@ -150,8 +169,12 @@ void MdsNode::process_front() {
     forward_pop_.hit(eng.now(), cluster_.ns().decay_rate());
     const Time fwd = cluster_.config().svc_forward;
     busy_in_window_ += fwd;
-    eng.schedule_after(fwd, [this, r = std::move(r), auth]() mutable {
-      cluster_.route_to(auth, std::move(r));
+    eng.schedule_after(fwd, [this, ep, r = std::move(r), target]() mutable {
+      if (ep != epoch_) return;
+      // Re-resolve at send time; if the authority is down the request
+      // parks on the dead-letter queue instead of vanishing into a dead
+      // host, and is re-injected when the subtree recovers.
+      cluster_.route_or_park(target, std::move(r));
       process_front();
     });
     return;
@@ -203,10 +226,24 @@ void MdsNode::process_front() {
              static_cast<Time>((sharers - 1) * (sharers - 1));
   }
   busy_in_window_ += svc;
-  eng.schedule_after(svc, [this, r = std::move(r), svc]() mutable {
+  eng.schedule_after(svc, [this, ep, r = std::move(r), svc]() mutable {
+    if (ep != epoch_) return;
     complete(std::move(r), svc);
     process_front();
   });
+}
+
+std::size_t MdsNode::reset_for_crash(Time now) {
+  // The queue and the op in service die with the process; the epoch bump
+  // cancels every scheduled continuation.
+  std::size_t lost = queue_.size() + (busy_ ? 1 : 0);
+  queue_.clear();
+  busy_ = false;
+  ++epoch_;
+  window_start_ = now;
+  busy_in_window_ = 0;
+  done_in_window_ = 0;
+  return lost;
 }
 
 void MdsNode::complete(Request r, Time /*svc*/) {
@@ -354,18 +391,26 @@ void MdsNode::tick() {
   hb_[static_cast<std::size_t>(rank_)] = me;
 
   // Heartbeats take time to pack, travel and unpack; peers see the past,
-  // and how far in the past varies per delivery.
+  // and how far in the past varies per delivery. The network fault layer
+  // may drop a delivery, duplicate it, or stretch its delay further.
+  NetworkFaults* nf = cluster_.network_faults();
   for (int p = 0; p < cluster_.num_mds(); ++p) {
     if (p == rank_) continue;
-    Time delay = cfg.hb_delay;
-    if (cfg.hb_jitter_frac > 0.0) {
-      const double f =
-          1.0 + cfg.hb_jitter_frac * (2.0 * rng_.next_double() - 1.0);
-      delay = static_cast<Time>(static_cast<double>(delay) * f);
+    if (nf != nullptr && nf->drop_heartbeat(rank_, p)) continue;
+    int copies = 1;
+    if (nf != nullptr && nf->duplicate_heartbeat(rank_, p)) copies = 2;
+    for (int c = 0; c < copies; ++c) {
+      Time delay = cfg.hb_delay;
+      if (cfg.hb_jitter_frac > 0.0) {
+        const double f =
+            1.0 + cfg.hb_jitter_frac * (2.0 * rng_.next_double() - 1.0);
+        delay = static_cast<Time>(static_cast<double>(delay) * f);
+      }
+      if (nf != nullptr) delay += nf->extra_heartbeat_delay(rank_, p);
+      cluster_.engine().schedule_after(delay, [this, p, me]() {
+        if (cluster_.is_up(p)) cluster_.node(p).on_heartbeat(me);
+      });
     }
-    cluster_.engine().schedule_after(delay, [this, p, me]() {
-      cluster_.node(p).on_heartbeat(me);
-    });
   }
 
   if (balancer_ != nullptr) {
@@ -373,17 +418,32 @@ void MdsNode::tick() {
     view.whoami = rank_;
     view.now = now;
     view.mdss = hb_;
+    // Laggy-peer detection: a rank whose heartbeat is older than
+    // laggy_factor balance intervals is presumed dead. Its stale load is
+    // dropped from the view so policies neither count it toward the
+    // cluster total nor pick it as an importer.
+    view.alive.assign(hb_.size(), 1);
+    if (cfg.laggy_factor > 0.0) {
+      const Time window = static_cast<Time>(
+          cfg.laggy_factor * static_cast<double>(cfg.bal_interval));
+      for (std::size_t i = 0; i < hb_.size(); ++i) {
+        if (static_cast<MdsRank>(i) == rank_) continue;
+        if (now - hb_[i].sent_at > window) view.alive[i] = 0;
+      }
+    }
     view.loads.resize(hb_.size());
-    for (std::size_t i = 0; i < hb_.size(); ++i)
-      view.loads[i] = balancer_->mdsload(hb_[i]);
     view.total_load = 0.0;
-    for (const double l : view.loads) view.total_load += l;
+    for (std::size_t i = 0; i < hb_.size(); ++i) {
+      view.loads[i] = view.alive[i] ? balancer_->mdsload(hb_[i]) : 0.0;
+      view.total_load += view.loads[i];
+    }
 
     if (view.total_load >= cfg.bal_min_load && balancer_->when(view)) {
       std::vector<double> targets = balancer_->where(view);
       targets.resize(hb_.size(), 0.0);
       for (std::size_t t = 0; t < targets.size(); ++t) {
         if (static_cast<MdsRank>(t) == rank_) continue;
+        if (!view.alive[t]) continue;  // never export to a laggy/dead peer
         const double goal = targets[t] * cfg.need_min_factor;
         if (goal <= cfg.bal_min_load) continue;
         std::vector<ExportCandidate> pool =
@@ -409,6 +469,8 @@ void MdsNode::tick() {
 MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
     : engine_(engine), cfg_(cfg), rng_(cfg.seed) {
   sessions_.resize(static_cast<std::size_t>(cfg_.num_mds));
+  life_.resize(static_cast<std::size_t>(cfg_.num_mds), NodeLife::Up);
+  crash_epoch_.resize(static_cast<std::size_t>(cfg_.num_mds), 0);
   for (int r = 0; r < cfg_.num_mds; ++r) {
     nodes_.push_back(std::make_unique<MdsNode>(*this, r, rng_.fork()));
     journals_.push_back(std::make_unique<store::Journal>(
@@ -436,8 +498,12 @@ void MdsCluster::schedule_tick(MdsRank rank) {
   if (cfg_.tick_jitter > 0)
     when += rng_.uniform(0, static_cast<std::uint64_t>(cfg_.tick_jitter));
   engine_.schedule_after(when, [this, rank]() {
-    node(rank).tick();
-    flush_dirty(rank);
+    // A down/replaying daemon skips the tick (no heartbeat, no balancing)
+    // but the schedule keeps re-arming so it resumes after recovery.
+    if (is_up(rank)) {
+      node(rank).tick();
+      flush_dirty(rank);
+    }
     schedule_tick(rank);
   });
 }
@@ -449,12 +515,20 @@ void MdsCluster::start() {
 void MdsCluster::client_submit(Request r, MdsRank guess) {
   if (guess < 0 || guess >= num_mds()) guess = 0;
   engine_.schedule_after(cfg_.net_latency, [this, guess, r = std::move(r)]() mutable {
+    if (!is_up(guess)) {
+      ++requests_dropped_;  // dead host: no reply; client retry recovers
+      return;
+    }
     node(guess).on_arrival(std::move(r));
   });
 }
 
 void MdsCluster::route_to(MdsRank rank, Request r) {
   engine_.schedule_after(cfg_.net_latency, [this, rank, r = std::move(r)]() mutable {
+    if (!is_up(rank)) {
+      ++requests_dropped_;
+      return;
+    }
     node(rank).on_arrival(std::move(r));
   });
 }
@@ -499,8 +573,9 @@ void MdsCluster::defer_to_migration(const DirFragId& id, Request r) {
       return;
     }
   }
-  // Raced with completion: just resend toward the current authority.
-  route_to(auth_of(id), std::move(r));
+  // Raced with completion (or an abort): resend toward the current
+  // authority, parking if that rank happens to be down.
+  route_or_park(id, std::move(r));
 }
 
 PopSnapshot MdsCluster::subtree_pop(const DirFragId& root, MdsRank rank,
@@ -629,6 +704,7 @@ bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to) {
   if (to < 0 || to >= num_mds()) return false;
   const MdsRank from = auth_of(frag);
   if (from == kNoRank || from == to) return false;
+  if (!is_up(from) || !is_up(to)) return false;  // both 2PC ends must live
   if (is_frozen(frag)) return false;
   if (ns_.frag(frag) == nullptr) return false;
 
@@ -724,6 +800,185 @@ void MdsCluster::finish_migration(std::size_t idx) {
   MANTLE_LOG_INFO("migration done %s: mds%d -> mds%d (%zu sessions flushed)",
                   mig.rec.frag.str().c_str(), from, to,
                   mig.rec.sessions_flushed);
+}
+
+// ===========================================================================
+// Crash, takeover and replay
+// ===========================================================================
+
+bool MdsCluster::is_up(MdsRank rank) const {
+  return rank >= 0 && rank < num_mds() &&
+         life_[static_cast<std::size_t>(rank)] == NodeLife::Up;
+}
+
+int MdsCluster::num_up() const {
+  int n = 0;
+  for (const NodeLife l : life_) n += l == NodeLife::Up;
+  return n;
+}
+
+MdsRank MdsCluster::pick_up_rank(MdsRank avoid) const {
+  MdsRank any = kNoRank;
+  for (int r = 0; r < num_mds(); ++r) {
+    if (!is_up(r)) continue;
+    if (r != avoid) return r;
+    if (any == kNoRank) any = r;
+  }
+  return any == kNoRank ? 0 : any;
+}
+
+Time MdsCluster::replay_duration(MdsRank rank) const {
+  return cfg_.replay_base +
+         cfg_.replay_per_entry *
+             static_cast<Time>(
+                 journals_[static_cast<std::size_t>(rank)]->live_entries());
+}
+
+void MdsCluster::log_recovery(RecoveryEvent::Kind kind, MdsRank rank,
+                              MdsRank peer, std::uint64_t detail) {
+  recovery_log_.push_back({engine_.now(), kind, rank, peer, detail});
+}
+
+void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
+  const MdsRank auth = auth_of(frag);
+  if (is_up(auth)) {
+    route_to(auth, std::move(r));
+  } else {
+    dead_letter_.emplace_back(frag, std::move(r));
+  }
+}
+
+void MdsCluster::flush_dead_letters() {
+  std::vector<std::pair<DirFragId, Request>> pending;
+  pending.swap(dead_letter_);
+  for (auto& [frag, req] : pending) route_or_park(frag, std::move(req));
+}
+
+void MdsCluster::abort_migrations_of(MdsRank dead) {
+  const Time now = engine_.now();
+  for (auto it = active_migrations_.begin(); it != active_migrations_.end();) {
+    if (it->second.rec.from != dead && it->second.rec.to != dead) {
+      ++it;
+      continue;
+    }
+    ActiveMigration mig = std::move(it->second);
+    it = active_migrations_.erase(it);
+
+    // Rollback is cheap because authority only flips at commit: the
+    // exporter (if alive) still owns the subtree and just journals the
+    // abort; a dead exporter's subtree is handled by takeover/replay.
+    const MdsRank survivor = mig.rec.from == dead ? mig.rec.to : mig.rec.from;
+    if (is_up(survivor)) {
+      journals_[static_cast<std::size_t>(survivor)]->append(
+          (survivor == mig.rec.from ? "EExportAbort " : "EImportAbort ") +
+          mig.rec.frag.str() + " peer=" + std::to_string(dead));
+    }
+    mig.rec.finished = now;
+    log_recovery(RecoveryEvent::Kind::MigrationAborted, dead, survivor,
+                 mig.deferred.size());
+    MANTLE_LOG_INFO("migration abort %s: mds%d -> mds%d (mds%d died, "
+                    "%zu deferred re-injected)",
+                    mig.rec.frag.str().c_str(), mig.rec.from, mig.rec.to, dead,
+                    mig.deferred.size());
+    aborted_migrations_.push_back(mig.rec);
+
+    // Requests parked on the frozen subtree thaw toward its (unchanged)
+    // authority — or the dead-letter queue if the exporter is the casualty.
+    for (Request& r : mig.deferred) route_or_park(mig.rec.frag, std::move(r));
+  }
+}
+
+bool MdsCluster::crash_mds(MdsRank rank) {
+  if (rank < 0 || rank >= num_mds()) return false;
+  const auto idx = static_cast<std::size_t>(rank);
+  if (life_[idx] != NodeLife::Up) return false;
+
+  const Time now = engine_.now();
+  life_[idx] = NodeLife::Down;
+  ++crash_epoch_[idx];
+  const std::uint64_t epoch = crash_epoch_[idx];
+
+  const std::size_t lost = node(rank).reset_for_crash(now);
+  requests_dropped_ += lost;
+  log_recovery(RecoveryEvent::Kind::Crash, rank, kNoRank, lost);
+  MANTLE_LOG_INFO("mds%d crashed (%zu queued requests lost)", rank, lost);
+
+  abort_migrations_of(rank);
+
+  // Survivor takeover: the lowest up rank replays the dead journal and
+  // adopts its subtrees. Skipped when the rank restarts first (the replay
+  // then happens on the restarting rank itself) or nobody survives.
+  if (cfg_.takeover_on_crash && !roots_of(rank).empty()) {
+    const MdsRank survivor = pick_up_rank(rank);
+    if (is_up(survivor) && survivor != rank) {
+      const Time replay = replay_duration(rank);
+      log_recovery(RecoveryEvent::Kind::TakeoverStart, rank, survivor,
+                   journals_[idx]->live_entries());
+      engine_.schedule_after(replay, [this, rank, survivor, epoch]() {
+        const auto i = static_cast<std::size_t>(rank);
+        // The rank came back (or crashed again) in the meantime: its own
+        // restart replay owns recovery now.
+        if (crash_epoch_[i] != epoch || life_[i] != NodeLife::Down) return;
+        if (!is_up(survivor)) return;  // adopter died too; wait for restart
+        adopt_subtrees(rank, survivor);
+        journals_[i]->trim(journals_[i]->next_seq());  // consumed by replay
+        journals_[static_cast<std::size_t>(survivor)]->append(
+            "ETakeover from=" + std::to_string(rank));
+        log_recovery(RecoveryEvent::Kind::TakeoverComplete, rank, survivor, 0);
+        MANTLE_LOG_INFO("mds%d took over mds%d's subtrees", survivor, rank);
+        flush_dead_letters();
+      });
+    }
+  }
+  return true;
+}
+
+void MdsCluster::adopt_subtrees(MdsRank from, MdsRank to) {
+  const Time now = engine_.now();
+  for (const DirFragId& root : roots_of(from)) {
+    std::vector<DirFragId> stack{root};
+    while (!stack.empty()) {
+      const DirFragId cur = stack.back();
+      stack.pop_back();
+      DirFrag* f = ns_.frag(cur);
+      if (f == nullptr || f->auth != from) continue;  // foreign bound
+      f->auth = to;
+      // The adopter fetches the dirfrag objects from the object store.
+      ns_.record_op(cur, MetaOp::FETCH, now);
+      for (const auto& [name, ino] : f->dentries) {
+        mantle::mds::Dir* child = ns_.dir(ino);
+        if (child == nullptr) continue;
+        for (const auto& [cf, cdf] : child->frags) stack.push_back({ino, cf});
+      }
+    }
+    subtree_roots_[root] = to;
+  }
+}
+
+bool MdsCluster::restart_mds(MdsRank rank) {
+  if (rank < 0 || rank >= num_mds()) return false;
+  const auto idx = static_cast<std::size_t>(rank);
+  if (life_[idx] != NodeLife::Down) return false;
+
+  life_[idx] = NodeLife::Replaying;
+  const std::uint64_t epoch = crash_epoch_[idx];
+  const Time replay = replay_duration(rank);
+  log_recovery(RecoveryEvent::Kind::RestartStart, rank, kNoRank,
+               journals_[idx]->live_entries());
+  MANTLE_LOG_INFO("mds%d restarting: replaying %zu journal entries", rank,
+                  journals_[idx]->live_entries());
+  engine_.schedule_after(replay, [this, rank, epoch]() {
+    const auto i = static_cast<std::size_t>(rank);
+    if (crash_epoch_[i] != epoch || life_[i] != NodeLife::Replaying) return;
+    life_[i] = NodeLife::Up;
+    journals_[i]->trim(journals_[i]->next_seq());
+    journals_[i]->append("ERestart");
+    log_recovery(RecoveryEvent::Kind::ReplayComplete, rank, kNoRank, 0);
+    MANTLE_LOG_INFO("mds%d finished replay, serving again", rank);
+    // Subtrees it still owns (no takeover happened) are serviceable again.
+    flush_dead_letters();
+  });
+  return true;
 }
 
 bool MdsCluster::maybe_merge(InodeId dirino) {

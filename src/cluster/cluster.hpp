@@ -89,6 +89,20 @@ struct ClusterConfig {
   Time mig_per_entry = 10;          // per exported dentry
   Time session_flush_stall = 10 * kMsec;  // per-client stall on session flush
   double mem_capacity_entries = 400000;  // entries mapping to 100% memory
+
+  // -- fault tolerance -----------------------------------------------------------
+  /// A peer whose last heartbeat is older than laggy_factor * bal_interval
+  /// is treated as dead-or-laggy: zero load in the ClusterView, excluded
+  /// from total_load and from export targets. <= 0 disables detection.
+  double laggy_factor = 3.0;
+  /// Journal replay cost on MDS takeover/restart: base handshake plus a
+  /// per-live-entry charge (recovery time proportional to journal size).
+  Time replay_base = 50 * kMsec;
+  Time replay_per_entry = 200;
+  /// On a crash, survivors adopt the dead rank's auth subtrees after
+  /// replaying its journal. When false the subtrees stay with the dead
+  /// rank and only become serviceable once it restarts and replays.
+  bool takeover_on_crash = true;
 };
 
 enum class OpType { Create, Mkdir, Getattr, Lookup, Readdir, Unlink, Rename };
@@ -131,6 +145,43 @@ struct MigrationRecord {
   DirFragId frag;
   std::size_t entries = 0;
   std::size_t sessions_flushed = 0;
+
+  bool operator==(const MigrationRecord&) const = default;
+};
+
+/// One entry of the cluster's recovery log: every fault-handling action
+/// (crash observed, migration aborted, takeover, replay) is recorded here
+/// in event order, so tests can assert the recovery timeline and the
+/// determinism suite can compare two runs event by event.
+struct RecoveryEvent {
+  enum class Kind {
+    Crash,             // rank went down
+    MigrationAborted,  // 2PC export aborted because rank died (peer = other end)
+    TakeoverStart,     // peer begins replaying rank's journal
+    TakeoverComplete,  // peer now owns rank's former subtrees
+    RestartStart,      // rank is back, replaying its own journal
+    ReplayComplete,    // rank finished replay and is serving again
+  };
+  Time at = 0;
+  Kind kind = Kind::Crash;
+  MdsRank rank = mantle::mds::kNoRank;  // the subject of the event
+  MdsRank peer = mantle::mds::kNoRank;  // survivor / migration peer, if any
+  std::uint64_t detail = 0;  // journal entries replayed, requests dropped, ...
+
+  bool operator==(const RecoveryEvent&) const = default;
+};
+
+const char* recovery_kind_name(RecoveryEvent::Kind kind);
+
+/// Network-level fault decisions, consulted on every heartbeat send. The
+/// default (null) injects nothing; fault::FaultInjector implements this
+/// with seeded probabilistic drops/duplicates/delays.
+class NetworkFaults {
+ public:
+  virtual ~NetworkFaults() = default;
+  virtual bool drop_heartbeat(MdsRank from, MdsRank to) = 0;
+  virtual bool duplicate_heartbeat(MdsRank from, MdsRank to) = 0;
+  virtual Time extra_heartbeat_delay(MdsRank from, MdsRank to) = 0;
 };
 
 struct MdsStats {
@@ -180,11 +231,20 @@ class MdsNode {
   void complete(Request r, Time svc);
   Time service_time(OpType op);
 
+  /// Crash teardown: drop the queue and the op in service, invalidate
+  /// every scheduled continuation (epoch bump), reset window accounting.
+  /// Returns the number of requests lost.
+  std::size_t reset_for_crash(Time now);
+
   MdsCluster& cluster_;
   MdsRank rank_;
   Rng rng_;
   std::deque<Request> queue_;
   bool busy_ = false;
+  /// Bumped on every crash; scheduled service continuations capture the
+  /// epoch they were created under and no-op if it has moved on (the
+  /// request they carried died with the process).
+  std::uint64_t epoch_ = 0;
 
   // Window accounting for CPU / request-rate metrics.
   Time window_start_ = 0;
@@ -211,6 +271,10 @@ class MdsCluster {
 
   int num_mds() const { return static_cast<int>(nodes_.size()); }
   MdsNode& node(MdsRank r) { return *nodes_.at(static_cast<std::size_t>(r)); }
+  /// A rank's MDS journal (migration events; replayed on recovery).
+  store::Journal& journal(MdsRank r) {
+    return *journals_.at(static_cast<std::size_t>(r));
+  }
 
   /// Install a balancing policy on one node (or all nodes via rank -1).
   void set_balancer(MdsRank rank, std::unique_ptr<Balancer> b);
@@ -228,8 +292,38 @@ class MdsCluster {
   }
 
   /// Client entry point: send a request toward `guess` (the client's
-  /// cached authority); the cluster applies network latency.
+  /// cached authority); the cluster applies network latency. Requests
+  /// addressed to a down rank are dropped on delivery (dead host) — the
+  /// client's retry timer is what recovers them.
   void client_submit(Request r, MdsRank guess);
+
+  // -- Liveness / fault handling ----------------------------------------------
+  /// Is this rank serving? (false while down or replaying its journal).
+  bool is_up(MdsRank rank) const;
+  int num_up() const;
+
+  /// Lowest up rank != avoid (else lowest up rank, else 0): where a client
+  /// re-aims a timed-out request, standing in for the MDSMap it would get
+  /// from the monitors.
+  MdsRank pick_up_rank(MdsRank avoid) const;
+
+  /// Kill an MDS: its queue and in-service request are lost, in-flight
+  /// migrations it participates in abort (rollback + deferred-request
+  /// re-injection), and — with takeover_on_crash — the lowest surviving
+  /// rank replays its journal and adopts its auth subtrees. Returns false
+  /// if the rank was already down.
+  bool crash_mds(MdsRank rank);
+
+  /// Bring a crashed MDS back: it replays its own journal (time
+  /// proportional to live entries) and then rejoins heartbeating and
+  /// balancing with whatever subtrees it still owns. Returns false if the
+  /// rank was not down.
+  bool restart_mds(MdsRank rank);
+
+  /// Install probabilistic network faults (heartbeat drop/dup/delay).
+  /// Caller keeps ownership; pass nullptr to disable.
+  void set_network_faults(NetworkFaults* nf) { net_faults_ = nf; }
+  NetworkFaults* network_faults() const { return net_faults_; }
 
   // -- Authority / subtree map -------------------------------------------------
   MdsRank auth_of(const DirFragId& id) const;
@@ -296,6 +390,14 @@ class MdsCluster {
 
   // -- Introspection -----------------------------------------------------------
   const std::vector<MigrationRecord>& migrations() const { return migrations_; }
+  /// Exports that aborted mid-2PC because one end died (finished = abort time).
+  const std::vector<MigrationRecord>& aborted_migrations() const {
+    return aborted_migrations_;
+  }
+  /// Crash/takeover/replay events in order (see RecoveryEvent).
+  const std::vector<RecoveryEvent>& recovery_log() const { return recovery_log_; }
+  /// Requests lost to dead ranks (dropped queues + dead-host deliveries).
+  std::uint64_t requests_dropped() const { return requests_dropped_; }
   std::uint64_t total_sessions_flushed() const { return sessions_flushed_; }
   std::uint64_t total_forwards() const;
   std::uint64_t total_hits() const;
@@ -312,10 +414,24 @@ class MdsCluster {
     std::vector<Request> deferred;
   };
 
+  enum class NodeLife { Up, Down, Replaying };
+
   void deliver_reply(Reply rep);
   void note_session(MdsRank rank, int client);
   void finish_migration(std::size_t idx);
   void schedule_tick(MdsRank rank);
+  void abort_migrations_of(MdsRank dead);
+  /// Flip every frag of `rank`'s subtrees (and the subtree map) to `to`,
+  /// charging FETCH heat on the adopter. Used by takeover.
+  void adopt_subtrees(MdsRank from, MdsRank to);
+  /// Re-inject parked requests whose current authority is up again.
+  void flush_dead_letters();
+  /// Route toward the authority of `frag`, parking in the dead-letter
+  /// queue if that rank is down (re-injected when it recovers).
+  void route_or_park(const DirFragId& frag, Request r);
+  Time replay_duration(MdsRank rank) const;
+  void log_recovery(RecoveryEvent::Kind kind, MdsRank rank, MdsRank peer,
+                    std::uint64_t detail);
 
   sim::Engine& engine_;
   ClusterConfig cfg_;
@@ -329,10 +445,19 @@ class MdsCluster {
   std::map<std::size_t, ActiveMigration> active_migrations_;  // by id
   std::size_t next_migration_id_ = 0;
   std::vector<MigrationRecord> migrations_;
+  std::vector<MigrationRecord> aborted_migrations_;
 
   std::vector<std::set<int>> sessions_;       // per-rank client sessions
   std::map<int, Time> client_stall_until_;    // session-flush penalties
   std::uint64_t sessions_flushed_ = 0;
+
+  // -- fault state -------------------------------------------------------------
+  std::vector<NodeLife> life_;
+  std::vector<std::uint64_t> crash_epoch_;  // guards stale takeover timers
+  std::vector<std::pair<DirFragId, Request>> dead_letter_;
+  std::vector<RecoveryEvent> recovery_log_;
+  std::uint64_t requests_dropped_ = 0;
+  NetworkFaults* net_faults_ = nullptr;
 
   std::function<void(const Reply&)> reply_cb_;
 };

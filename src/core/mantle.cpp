@@ -39,7 +39,8 @@ bool ends_with_then(const std::string& src) {
          (end == 3 || !std::isalnum(static_cast<unsigned char>(s[end - 4])));
 }
 
-lua::TablePtr hb_to_table(const HeartbeatPayload& hb, double load) {
+lua::TablePtr hb_to_table(const HeartbeatPayload& hb, double load,
+                          double alive) {
   auto t = lua::make_table();
   t->set(Value("auth"), Value(hb.auth_metaload));
   t->set(Value("all"), Value(hb.all_metaload));
@@ -48,7 +49,49 @@ lua::TablePtr hb_to_table(const HeartbeatPayload& hb, double load) {
   t->set(Value("q"), Value(hb.queue_len));
   t->set(Value("req"), Value(hb.req_rate));
   t->set(Value("load"), Value(load));
+  t->set(Value("alive"), Value(alive));
   return t;
+}
+
+/// Read the `targets` table a hook produced into a dense rank-indexed
+/// vector, defending the mechanism against policy bugs: non-finite and
+/// negative entries clamp to 0, fractional or out-of-range indices are
+/// ignored, and every such occurrence is a counted hook error. The
+/// mechanism must never export load because a policy emitted NaN.
+std::vector<double> sanitize_targets(const Value& targets, std::size_t n,
+                                     const char* hook,
+                                     std::uint64_t& hook_errors,
+                                     std::string& last_error) {
+  std::vector<double> out(n, 0.0);
+  if (!targets.is_table()) return out;
+  const lua::TablePtr t = targets.table();
+  for (const auto& [key, val] : t->num_keys) {
+    if (!std::isfinite(key) || key != std::floor(key) || key < 1.0 ||
+        key > static_cast<double>(n)) {
+      ++hook_errors;
+      last_error = std::string(hook) + ": targets index out of range";
+      MANTLE_LOG_WARN("mantle %s hook: ignoring targets[%g] (valid: 1..%zu)",
+                      hook, key, n);
+      continue;
+    }
+    const double x = val.to_number().value_or(0.0);
+    if (!std::isfinite(x) || x < 0.0) {
+      ++hook_errors;
+      last_error = std::string(hook) + ": non-finite or negative target";
+      MANTLE_LOG_WARN("mantle %s hook: clamping targets[%g]=%g to 0", hook,
+                      key, x);
+      continue;  // out[key-1] stays 0
+    }
+    out[static_cast<std::size_t>(key) - 1] = x;
+  }
+  for (const auto& [key, val] : t->str_keys) {
+    (void)val;
+    ++hook_errors;
+    last_error = std::string(hook) + ": string key in targets";
+    MANTLE_LOG_WARN("mantle %s hook: ignoring targets[\"%s\"]", hook,
+                    key.c_str());
+  }
+  return out;
 }
 
 }  // namespace
@@ -147,7 +190,7 @@ double MantleBalancer::mdsload(const HeartbeatPayload& hb) const {
   // entry being scored at its 1-based index.
   auto mdss = lua::make_table();
   const double idx = static_cast<double>(hb.rank + 1);
-  mdss->set(Value(idx), Value(hb_to_table(hb, 0.0)));
+  mdss->set(Value(idx), Value(hb_to_table(hb, 0.0, 1.0)));
   lua_.set_global("MDSs", Value(mdss));
   lua_.set_global("i", Value(idx));
   return eval_load_hook(policy_.mdsload, "mdsload");
@@ -158,7 +201,9 @@ void MantleBalancer::bind_view(const ClusterView& view) {
   auto targets = lua::make_table();
   for (std::size_t i = 0; i < view.size(); ++i) {
     const double idx = static_cast<double>(i + 1);
-    mdss->set(Value(idx), Value(hb_to_table(view.mdss[i], view.loads[i])));
+    mdss->set(Value(idx),
+              Value(hb_to_table(view.mdss[i], view.loads[i],
+                                view.is_alive(i) ? 1.0 : 0.0)));
     targets->set(Value(idx), Value(0.0));
   }
   lua_.set_global("MDSs", Value(mdss));
@@ -213,15 +258,10 @@ bool MantleBalancer::when(const ClusterView& view) {
   }
 
   // A combined hook may have filled targets directly (Listings 1-2 style).
-  const Value targets = lua_.get_global("targets");
-  if (targets.is_table()) {
-    for (std::size_t i = 0; i < view.size(); ++i) {
-      const Value v = targets.table()->get(Value(static_cast<double>(i + 1)));
-      const double x = v.to_number().value_or(0.0);
-      pending_targets_[i] = x;
-      if (x > 0.0) when_filled_targets_ = true;
-    }
-  }
+  pending_targets_ = sanitize_targets(lua_.get_global("targets"), view.size(),
+                                      "when", hook_errors_, last_error_);
+  for (const double x : pending_targets_)
+    if (x > 0.0) when_filled_targets_ = true;
   return explicit_result ? result : when_filled_targets_;
 }
 
@@ -232,22 +272,14 @@ std::vector<double> MantleBalancer::where(const ClusterView& view) {
   }
   bind_view(view);
   lua::RunResult r = lua_.run(policy_.where, "where");
-  std::vector<double> out(view.size(), 0.0);
   if (!r.ok) {
     ++hook_errors_;
     last_error_ = r.error;
     MANTLE_LOG_WARN("mantle where hook failed: %s", r.error.c_str());
-    return out;
+    return std::vector<double>(view.size(), 0.0);
   }
-  const Value targets = lua_.get_global("targets");
-  if (targets.is_table()) {
-    for (std::size_t i = 0; i < view.size(); ++i)
-      out[i] = targets.table()
-                   ->get(Value(static_cast<double>(i + 1)))
-                   .to_number()
-                   .value_or(0.0);
-  }
-  return out;
+  return sanitize_targets(lua_.get_global("targets"), view.size(), "where",
+                          hook_errors_, last_error_);
 }
 
 std::vector<std::string> MantleBalancer::howmuch() const {

@@ -15,8 +15,8 @@
 ///
 ///   globals while evaluating hooks
 ///     whoami                      current MDS (1-based, as in the paper)
-///     MDSs[i]["auth"|"all"|"cpu"|"mem"|"q"|"req"|"load"]
-///     total                       sum of MDSs[i]["load"]
+///     MDSs[i]["auth"|"all"|"cpu"|"mem"|"q"|"req"|"load"|"alive"]
+///     total                       sum of MDSs[i]["load"] over alive ranks
 ///     authmetaload, allmetaload   current MDS's metadata loads
 ///     IRD, IWR, READDIR, FETCH, STORE   (metaload hook only)
 ///     i                           index being scored (mdsload hook only)
@@ -37,6 +37,18 @@
 /// whose last statement is `return <bool>`. A `when` chunk may also fill
 /// `targets` directly (Listings 1-3 inline their where policy); if it
 /// does and no separate `where` hook is set, those targets are used.
+///
+/// MDSs[i]["alive"] is 1 for ranks heartbeating normally and 0 for ranks
+/// the laggy-peer detector has written off (heartbeat older than
+/// laggy_factor * bal_interval); dead ranks also show load 0 and are
+/// excluded from `total`. Policies may branch on it, but they do not have
+/// to: the mechanism refuses to export toward a dead rank regardless.
+///
+/// The `targets` a hook produces are sanitized before the mechanism acts
+/// on them: non-finite or negative entries clamp to 0, fractional or
+/// out-of-range indices are ignored, and each occurrence increments
+/// hook_errors() — a buggy policy degrades to "no migration", never to a
+/// corrupted export.
 
 namespace mantle::core {
 

@@ -7,9 +7,24 @@ using cluster::Request;
 using mantle::mds::kNoInode;
 using mantle::mds::MdsRank;
 
+namespace {
+bool is_mutation(cluster::OpType op) {
+  switch (op) {
+    case cluster::OpType::Create:
+    case cluster::OpType::Mkdir:
+    case cluster::OpType::Unlink:
+    case cluster::OpType::Rename:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
 Client::Client(int id, cluster::MdsCluster& cluster,
-               std::unique_ptr<Workload> wl, Rng rng)
-    : id_(id), cluster_(cluster), workload_(std::move(wl)), rng_(rng) {}
+               std::unique_ptr<Workload> wl, Rng rng, RetryPolicy retry)
+    : id_(id), cluster_(cluster), workload_(std::move(wl)), rng_(rng),
+      retry_(retry) {}
 
 void Client::start() {
   if (started_) return;
@@ -70,26 +85,87 @@ void Client::issue_next() {
       it = auth_cache_.end();
   }
   const MdsRank guess = it == auth_cache_.end() ? 0 : it->second;
+  submit(std::move(r), guess);
+}
+
+void Client::submit(Request r, MdsRank guess) {
+  if (retry_.timeout > 0) {
+    pending_ = r;
+    inflight_id_ = r.id;
+    last_guess_ = guess;
+    attempt_ = 1;
+    backoff_ = retry_.timeout;
+    waiting_ = true;
+    arm_timeout();
+  }
   cluster_.client_submit(std::move(r), guess);
 }
 
-void Client::on_reply(const Reply& rep) {
+void Client::arm_timeout() {
+  const std::uint64_t tok = timer_token_;
+  cluster_.engine().schedule_after(backoff_, [this, tok]() {
+    if (tok != timer_token_ || !waiting_) return;
+    if (retry_.max_attempts > 0 && attempt_ >= retry_.max_attempts) {
+      // Out of attempts: report failure so the workload can move on.
+      waiting_ = false;
+      ++timer_token_;
+      finish_op(false, pending_.issued_at);
+      return;
+    }
+    // Resubmit under a fresh request id toward a rank believed up — the
+    // old id keeps any late reply from the first attempt recognizable as
+    // a stale duplicate. Standing in for the client re-reading the MDSMap.
+    ++retries_;
+    ++attempt_;
+    Request r = pending_;
+    r.id = next_req_id_++;
+    r.hops = 0;
+    inflight_id_ = r.id;
+    if (!cluster_.is_up(last_guess_))
+      last_guess_ = cluster_.pick_up_rank(last_guess_);
+    backoff_ = std::min(backoff_ * 2, retry_.max_backoff);
+    cluster_.client_submit(std::move(r), last_guess_);
+    arm_timeout();
+  });
+}
+
+void Client::finish_op(bool ok, Time started) {
   const Time now = cluster_.engine().now();
-  latencies_.add(to_seconds(now - rep.issued_at) * 1e3);
-  if (rep.ok)
+  latencies_.add(to_seconds(now - started) * 1e3);
+  if (ok)
     ++ops_completed_;
   else
     ++ops_failed_;
-  forwards_seen_ += static_cast<std::uint64_t>(rep.hops);
-  if (rep.dir != kNoInode)
-    auth_cache_[{rep.dir, rep.frag}] = rep.served_by;
-
   const Time think = workload_->think_time(rng_);
   if (think == 0) {
     issue_next();
   } else {
     cluster_.engine().schedule_after(think, [this]() { issue_next(); });
   }
+}
+
+void Client::on_reply(const Reply& rep) {
+  forwards_seen_ += static_cast<std::uint64_t>(rep.hops);
+  if (rep.dir != kNoInode)
+    auth_cache_[{rep.dir, rep.frag}] = rep.served_by;
+
+  if (retry_.timeout > 0) {
+    if (!waiting_ || rep.req_id != inflight_id_) {
+      // A superseded attempt completed after we had already retried (or
+      // after the op resolved): at-least-once, drop the duplicate.
+      ++stale_replies_;
+      return;
+    }
+    waiting_ = false;
+    ++timer_token_;  // cancel the armed timeout
+    // A retried mutation can fail only because an earlier attempt already
+    // applied it (e.g. create -> already exists); that is a success.
+    const bool ok = rep.ok || (attempt_ > 1 && is_mutation(pending_.op));
+    finish_op(ok, pending_.issued_at);
+    return;
+  }
+
+  finish_op(rep.ok, rep.issued_at);
 }
 
 }  // namespace mantle::sim

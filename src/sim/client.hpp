@@ -15,10 +15,23 @@
 
 namespace mantle::sim {
 
+/// Client-side fault tolerance: when an MDS dies holding a request, the
+/// reply never comes. With a timeout set, the client resubmits toward a
+/// surviving rank with capped exponential backoff. Semantics are
+/// at-least-once: a retried mutation may have been applied by a previous
+/// attempt, so a "failed" (e.g. already-exists) reply to a retry still
+/// counts the op as completed. Disabled by default (timeout = 0) so
+/// existing experiments keep their exact event sequences.
+struct RetryPolicy {
+  Time timeout = 0;               // 0 disables retries entirely
+  Time max_backoff = 8 * kSec;    // backoff doubles per retry up to this
+  int max_attempts = 0;           // 0 = retry forever
+};
+
 class Client {
  public:
   Client(int id, cluster::MdsCluster& cluster, std::unique_ptr<Workload> wl,
-         Rng rng);
+         Rng rng, RetryPolicy retry = {});
 
   int id() const { return id_; }
 
@@ -36,17 +49,36 @@ class Client {
   std::uint64_t ops_completed() const { return ops_completed_; }
   std::uint64_t ops_failed() const { return ops_failed_; }
   std::uint64_t forwards_seen() const { return forwards_seen_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t stale_replies() const { return stale_replies_; }
 
   /// Per-request latency samples in milliseconds.
   const mantle::SampleSet& latencies_ms() const { return latencies_; }
 
  private:
   void issue_next();
+  void submit(cluster::Request r, mantle::mds::MdsRank guess);
+  void arm_timeout();
+  void finish_op(bool ok, Time started);
 
   int id_;
   cluster::MdsCluster& cluster_;
   std::unique_ptr<Workload> workload_;
   Rng rng_;
+  RetryPolicy retry_;
+
+  // Retry state for the (single) outstanding logical op. The token guards
+  // scheduled timeout closures: it is bumped whenever the op resolves, so
+  // a timer racing a late reply finds a stale token and does nothing.
+  cluster::Request pending_;
+  std::uint64_t inflight_id_ = 0;
+  std::uint64_t timer_token_ = 0;
+  mantle::mds::MdsRank last_guess_ = 0;
+  Time backoff_ = 0;
+  int attempt_ = 0;
+  bool waiting_ = false;
+  std::uint64_t retries_ = 0;
+  std::uint64_t stale_replies_ = 0;
 
   // Learned dirfrag -> MDS map (CephFS clients build "their own mapping
   // of subtrees to MDS nodes" from replies, at fragment granularity).

@@ -16,7 +16,8 @@ int Scenario::add_client(std::unique_ptr<Workload> wl) {
   // Each client gets an independent deterministic stream derived from the
   // scenario seed and its id.
   Rng rng(cfg_.cluster.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(id) + 1);
-  clients_.push_back(std::make_unique<Client>(id, *cluster_, std::move(wl), rng));
+  clients_.push_back(
+      std::make_unique<Client>(id, *cluster_, std::move(wl), rng, cfg_.retry));
   return id;
 }
 

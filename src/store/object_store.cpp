@@ -22,22 +22,25 @@ Time LatencyModel::write_cost(std::size_t bytes, Rng* rng) const {
 
 OpResult ObjectStore::write_full(const std::string& oid, std::string data) {
   ++stats_.writes;
-  stats_.bytes_written += data.size();
   const Time lat = model_.write_cost(data.size(), rng_);
+  if (faulted(StoreOp::Write, oid)) return {false, lat};
+  stats_.bytes_written += data.size();
   objects_[oid].data = std::move(data);
   return {true, lat};
 }
 
 OpResult ObjectStore::append(const std::string& oid, const std::string& data) {
   ++stats_.writes;
-  stats_.bytes_written += data.size();
   const Time lat = model_.write_cost(data.size(), rng_);
+  if (faulted(StoreOp::Write, oid)) return {false, lat};
+  stats_.bytes_written += data.size();
   objects_[oid].data += data;
   return {true, lat};
 }
 
 OpResult ObjectStore::read(const std::string& oid, std::string* out) {
   ++stats_.reads;
+  if (faulted(StoreOp::Read, oid)) return {false, model_.read_cost(0, rng_)};
   const auto it = objects_.find(oid);
   if (it == objects_.end()) return {false, model_.read_cost(0, rng_)};
   stats_.bytes_read += it->second.data.size();
@@ -48,8 +51,9 @@ OpResult ObjectStore::read(const std::string& oid, std::string* out) {
 OpResult ObjectStore::omap_set(const std::string& oid, const std::string& key,
                                std::string value) {
   ++stats_.omap_writes;
-  stats_.bytes_written += key.size() + value.size();
   const Time lat = model_.write_cost(key.size() + value.size(), rng_);
+  if (faulted(StoreOp::OmapWrite, oid)) return {false, lat};
+  stats_.bytes_written += key.size() + value.size();
   objects_[oid].omap[key] = std::move(value);
   return {true, lat};
 }
@@ -57,6 +61,7 @@ OpResult ObjectStore::omap_set(const std::string& oid, const std::string& key,
 OpResult ObjectStore::omap_remove(const std::string& oid, const std::string& key) {
   ++stats_.omap_writes;
   const Time lat = model_.write_cost(key.size(), rng_);
+  if (faulted(StoreOp::OmapWrite, oid)) return {false, lat};
   const auto it = objects_.find(oid);
   if (it == objects_.end()) return {false, lat};
   it->second.omap.erase(key);
@@ -66,6 +71,7 @@ OpResult ObjectStore::omap_remove(const std::string& oid, const std::string& key
 OpResult ObjectStore::omap_get(const std::string& oid, const std::string& key,
                                std::string* out) {
   ++stats_.omap_reads;
+  if (faulted(StoreOp::OmapRead, oid)) return {false, model_.read_cost(0, rng_)};
   const auto it = objects_.find(oid);
   if (it == objects_.end()) return {false, model_.read_cost(0, rng_)};
   const auto kit = it->second.omap.find(key);
@@ -79,6 +85,7 @@ OpResult ObjectStore::omap_list(
     const std::string& oid,
     std::vector<std::pair<std::string, std::string>>* out) {
   ++stats_.omap_reads;
+  if (faulted(StoreOp::OmapRead, oid)) return {false, model_.read_cost(0, rng_)};
   const auto it = objects_.find(oid);
   if (it == objects_.end()) return {false, model_.read_cost(0, rng_)};
   std::size_t bytes = 0;
@@ -94,6 +101,7 @@ OpResult ObjectStore::omap_list(
 OpResult ObjectStore::remove(const std::string& oid) {
   ++stats_.deletes;
   const Time lat = model_.write_cost(0, rng_);
+  if (faulted(StoreOp::Delete, oid)) return {false, lat};
   return {objects_.erase(oid) != 0, lat};
 }
 

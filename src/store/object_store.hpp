@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -49,10 +50,15 @@ struct StoreStats {
   std::uint64_t deletes = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  std::uint64_t faults_injected = 0;  // ops failed by the fault hook
 };
 
+/// Operation classes a fault hook can discriminate on.
+enum class StoreOp { Read, Write, OmapRead, OmapWrite, Delete };
+
 /// Result of a store operation: whether it succeeded and how long it took
-/// in simulated time. Failures only happen for reads of missing objects.
+/// in simulated time. Failures happen for reads of missing objects and for
+/// any op an installed fault hook chooses to fail.
 struct OpResult {
   bool ok = true;
   Time latency = 0;
@@ -88,11 +94,27 @@ class ObjectStore {
   std::size_t object_count() const { return objects_.size(); }
   const StoreStats& stats() const { return stats_; }
 
+  /// Fault injection: when set, the hook is consulted before every
+  /// operation; returning true fails that op (ok=false, mutation not
+  /// applied) after charging its normal latency — a transient RADOS op
+  /// failure. Counted in stats().faults_injected.
+  using FaultHook = std::function<bool(StoreOp, const std::string& oid)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
+  bool faulted(StoreOp op, const std::string& oid) {
+    if (fault_hook_ && fault_hook_(op, oid)) {
+      ++stats_.faults_injected;
+      return true;
+    }
+    return false;
+  }
+
   LatencyModel model_;
   Rng* rng_;
   std::map<std::string, Object> objects_;
   StoreStats stats_;
+  FaultHook fault_hook_;
 };
 
 /// Per-MDS journal on top of the object store: an append-only event log

@@ -216,5 +216,58 @@ TEST(Adaptable, TooAggressiveFiresOnAnyImbalance) {
   EXPECT_FALSE(b.when(make_view(2, {45, 30, 25})));
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate views: every balancer must survive an empty cluster view
+// (all peers laggy/dead) and an all-idle one without dividing by zero.
+// ---------------------------------------------------------------------------
+
+TEST(Degenerate, EmptyViewNeverMigrates) {
+  const ClusterView empty = make_view(0, {});
+  OriginalBalancer orig;
+  EXPECT_FALSE(orig.when(empty));
+  EXPECT_TRUE(orig.where(empty).empty());
+  GreedySpillBalancer greedy;
+  EXPECT_FALSE(greedy.when(empty));
+  EXPECT_TRUE(greedy.where(empty).empty());
+  GreedySpillEvenBalancer even;
+  EXPECT_FALSE(even.when(empty));
+  EXPECT_TRUE(even.where(empty).empty());
+  FillSpillBalancer fill;
+  EXPECT_FALSE(fill.when(empty));
+  EXPECT_TRUE(fill.where(empty).empty());
+  AdaptableBalancer adapt;
+  EXPECT_FALSE(adapt.when(empty));
+  EXPECT_TRUE(adapt.where(empty).empty());
+  HashBalancer hash;
+  EXPECT_FALSE(hash.when(empty));
+  EXPECT_TRUE(hash.where(empty).empty());
+}
+
+TEST(Degenerate, AllIdleClusterStaysQuiet) {
+  // total_load == 0: nobody is above average, and where() must not turn a
+  // zero total deficit into NaN targets.
+  const ClusterView idle = make_view(0, {0, 0, 0});
+  OriginalBalancer orig;
+  EXPECT_FALSE(orig.when(idle));
+  for (const double t : orig.where(idle)) EXPECT_DOUBLE_EQ(t, 0.0);
+  AdaptableBalancer adapt;
+  EXPECT_FALSE(adapt.when(idle));
+  for (const double t : adapt.where(idle)) EXPECT_DOUBLE_EQ(t, 0.0);
+  HashBalancer hash;
+  EXPECT_FALSE(hash.when(idle));
+  for (const double t : hash.where(idle)) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(Degenerate, SingleRankClusterNeverExports) {
+  const ClusterView solo = make_view(0, {1000});
+  OriginalBalancer orig;
+  EXPECT_FALSE(orig.when(solo));  // alone means exactly average
+  for (const double t : orig.where(solo)) EXPECT_DOUBLE_EQ(t, 0.0);
+  AdaptableBalancer adapt;
+  if (adapt.when(solo)) {
+    for (const double t : adapt.where(solo)) EXPECT_DOUBLE_EQ(t, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace mantle::balancers

@@ -143,6 +143,60 @@ TEST(Mantle, BrokenHookIsContainedNotFatal) {
   EXPECT_FALSE(b.last_error().empty());
 }
 
+TEST(Mantle, WhereClampsNegativeAndNonFiniteTargets) {
+  // A buggy policy writing NaN/inf/negative amounts must degrade to "send
+  // nothing to that rank", counted via hook_errors, never crash or export
+  // garbage into the migration machinery.
+  MantlePolicy p;
+  p.when = "go = 1";
+  p.where = "targets[1] = 0/0 targets[2] = -50 targets[3] = 7";
+  MantleBalancer b(p);
+  const auto v = make_view(0, {90, 10, 20});
+  ASSERT_TRUE(b.when(v));
+  const auto t = b.where(v);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0) << "NaN clamps to 0";
+  EXPECT_DOUBLE_EQ(t[1], 0.0) << "negative clamps to 0";
+  EXPECT_DOUBLE_EQ(t[2], 7.0) << "sane target untouched";
+  EXPECT_GE(b.hook_errors(), 2u);
+  EXPECT_FALSE(b.last_error().empty());
+}
+
+TEST(Mantle, WhereIgnoresOutOfRangeAndStringTargets) {
+  MantlePolicy p;
+  p.when = "go = 1";
+  // Index 9 is beyond the 3-rank cluster; 0 is below the 1-based range;
+  // a string key never names a rank. All are dropped, all are counted.
+  p.where = "targets[9] = 5 targets[0] = 5 targets['mds1'] = 5 targets[2] = 3";
+  MantleBalancer b(p);
+  const auto v = make_view(0, {90, 10, 20});
+  ASSERT_TRUE(b.when(v));
+  const auto t = b.where(v);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[1], 3.0) << "in-range target survives the bad ones";
+  EXPECT_DOUBLE_EQ(t[2], 0.0);
+  EXPECT_GE(b.hook_errors(), 3u);
+}
+
+TEST(Mantle, WhenFilledTargetsAreSanitizedToo) {
+  // Listings 1-2 style: the when chunk fills targets itself. The same
+  // sanitization applies before the cached targets reach the cluster.
+  MantlePolicy p;
+  p.when = "targets[2] = -1 targets[8] = 100 go = 1";
+  MantleBalancer b(p);
+  const auto v = make_view(0, {90, 10});
+  // All candidate targets were bad, so when() reports nothing to migrate
+  // unless the hook said go explicitly — it did, so when() is true but
+  // where() hands back all-zero targets.
+  ASSERT_TRUE(b.when(v));
+  const auto t = b.where(v);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[1], 0.0);
+  EXPECT_GE(b.hook_errors(), 2u);
+}
+
 TEST(Mantle, InfiniteLoopHookIsKilledByBudget) {
   MantlePolicy p;
   p.when = "while 1 do end";

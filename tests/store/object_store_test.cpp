@@ -145,5 +145,84 @@ TEST(Journal, BacksOntoObjectStore) {
   EXPECT_EQ(raw, "abcdef");
 }
 
+TEST(Journal, ReplayAfterTrimSeesOnlyLiveEntries) {
+  // The recovery path replays entries() after a crash: trimmed events must
+  // not reappear, and the survivors keep their original sequence numbers.
+  ObjectStore os;
+  Journal j(os, "mds0.journal");
+  for (int i = 0; i < 10; ++i) j.append("EExport frag=" + std::to_string(i));
+  j.trim(6);
+  j.append("EImportStart frag=10");  // post-trim appends keep counting up
+  std::uint64_t seq = 0;
+  j.append("EImportCommit frag=10", &seq);
+  EXPECT_EQ(seq, 11u);
+
+  const auto replay = j.entries();
+  ASSERT_EQ(replay.size(), 6u);  // seqs 6..9 plus the two new events
+  EXPECT_EQ(replay.front().first, 6u);
+  EXPECT_EQ(replay.front().second, "EExport frag=6");
+  EXPECT_EQ(replay.back().first, 11u);
+  EXPECT_EQ(replay.back().second, "EImportCommit frag=10");
+  for (const auto& [s, ev] : replay) EXPECT_GE(s, j.trimmed_to());
+}
+
+TEST(Journal, TrimIsIdempotentAndMonotonic) {
+  ObjectStore os;
+  Journal j(os, "mds0.journal");
+  for (int i = 0; i < 4; ++i) j.append("e" + std::to_string(i));
+  j.trim(3);
+  j.trim(3);  // repeat: no-op
+  EXPECT_EQ(j.live_entries(), 1u);
+  EXPECT_EQ(j.trimmed_to(), 3u);
+  j.trim(1);  // going backwards must not resurrect entries
+  EXPECT_EQ(j.live_entries(), 1u);
+  EXPECT_EQ(j.trimmed_to(), 3u);
+}
+
+TEST(Journal, TrimToEndEmptiesReplaySet) {
+  // The cluster trims a dead rank's journal to next_seq() after takeover:
+  // a later restart of that rank replays nothing.
+  ObjectStore os;
+  Journal j(os, "mds2.journal");
+  for (int i = 0; i < 7; ++i) j.append("ETakeoverish" + std::to_string(i));
+  j.trim(j.next_seq());
+  EXPECT_EQ(j.live_entries(), 0u);
+  EXPECT_TRUE(j.entries().empty());
+  // The journal is still usable afterwards.
+  std::uint64_t seq = 0;
+  j.append("ERestart", &seq);
+  EXPECT_EQ(seq, 7u);
+  EXPECT_EQ(j.live_entries(), 1u);
+}
+
+TEST(ObjectStore, FaultHookFailsOpWithoutMutating) {
+  ObjectStore os;
+  ASSERT_TRUE(os.write_full("keep", "v1").ok);
+  os.set_fault_hook([](StoreOp, const std::string&) { return true; });
+  EXPECT_FALSE(os.write_full("keep", "v2").ok);
+  EXPECT_FALSE(os.remove("keep").ok);
+  os.set_fault_hook(nullptr);
+  std::string data;
+  ASSERT_TRUE(os.read("keep", &data).ok);
+  EXPECT_EQ(data, "v1") << "faulted ops must leave state untouched";
+  EXPECT_EQ(os.stats().faults_injected, 2u);
+}
+
+TEST(ObjectStore, FaultHookSeesOpKindAndOid) {
+  ObjectStore os;
+  std::vector<std::pair<StoreOp, std::string>> seen;
+  os.set_fault_hook([&](StoreOp op, const std::string& oid) {
+    seen.emplace_back(op, oid);
+    return false;  // observe only
+  });
+  os.write_full("a", "x");
+  std::string tmp;
+  os.read("a", &tmp);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, StoreOp::Write);
+  EXPECT_EQ(seen[0].second, "a");
+  EXPECT_EQ(seen[1].first, StoreOp::Read);
+}
+
 }  // namespace
 }  // namespace mantle::store
