@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   for (const Time interval : {kSec, 2 * kSec, 4 * kSec}) {
     for (const Time delay : {Time(10 * kMsec), Time(250 * kMsec), Time(interval)}) {
       bench::RunSpec spec;
+      spec.label = "abl_heartbeat";
       spec.num_mds = 3;
       spec.base.bal_interval = interval;
       spec.base.hb_delay = delay;

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       for (int c = 0; c < 4; ++c)
         s.add_client(workloads::make_shared_create_workload(c, "/shared", files, 100));
       s.run();
+      bench::dump_observability("abl_need_min", cfg.cluster.seed, s);
       runtime.add(to_seconds(s.makespan()));
       migs.add(static_cast<double>(s.cluster().migrations().size()));
       const double total = static_cast<double>(s.cluster().total_completed());

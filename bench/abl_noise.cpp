@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   for (const double noise : {0.0, 2.0, 4.0, 10.0, 20.0}) {
     bench::RunSpec spec;
+    spec.label = "abl_noise";
     spec.num_mds = 2;
     spec.base.bal_interval = kSec;
     spec.base.cpu_noise_pct = noise;

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   auto spec_for = [&](bench::BalancerFactory f, double noise) {
     bench::RunSpec spec;
+    spec.label = "ext_feedback";
     spec.num_mds = 3;
     spec.base.split_size = quick ? 2500 : 12500;
     spec.base.bal_interval = kSec;

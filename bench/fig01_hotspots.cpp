@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   });
 
   s.run();
+  bench::dump_observability("fig01_hotspots", cfg.cluster.seed, s);
 
   std::printf("# Figure 1: per-directory metadata heat while compiling\n");
   std::printf("# heat = decayed IRD+IWR+READDIR (exponential decay, 5 s half-life)\n");

@@ -79,6 +79,7 @@ bench::RunResult run_setup(Setup setup, bool quick) {
   });
 
   s.run();
+  bench::dump_observability("fig03_locality", cfg.cluster.seed, s);
 
   bench::RunResult r;
   r.makespan_s = to_seconds(s.makespan());

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     for (int c = 0; c < 4; ++c)
       s.add_client(workloads::make_private_create_workload(c, files, 100));
     s.run();
+    bench::dump_observability("fig04_reproducibility", cfg.cluster.seed, s);
 
     std::printf("\n### run %d (seed %llu): finished at %.1f s, %zu migrations\n",
                 run, static_cast<unsigned long long>(cfg.cluster.seed),

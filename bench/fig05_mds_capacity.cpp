@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
       for (int c = 0; c < clients; ++c)
         s.add_client(workloads::make_private_create_workload(c, files, 350));
       s.run();
+      bench::dump_observability("fig05_mds_capacity", cfg.cluster.seed, s);
       thru.add(s.aggregate_throughput());
       const auto l = s.pooled_latencies_ms();
       lat.add(l.mean());

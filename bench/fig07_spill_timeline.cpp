@@ -30,6 +30,7 @@ void run_one(const char* label, const bench::BalancerFactory& factory,
   for (int c = 0; c < 4; ++c)
     s.add_client(workloads::make_shared_create_workload(c, "/shared", files, 100));
   s.run();
+  bench::dump_observability("fig07_spill_timeline", cfg.cluster.seed, s);
 
   std::printf("\n");
   bench::print_throughput_series(s, quick ? 2 * kSec : 5 * kSec, label);

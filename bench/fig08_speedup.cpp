@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
 
   auto make_spec = [&](int num_mds, bench::BalancerFactory f) {
     bench::RunSpec spec;
+    spec.label = "fig08_speedup";
     spec.num_mds = num_mds;
     spec.base.split_size = quick ? 2500 : 12500;
     spec.base.bal_interval = quick ? kSec : 4 * kSec;

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       s.add_client(std::make_unique<workloads::CompileWorkload>(o));
     }
     s.run();
+    bench::dump_observability("fig09_compile_speedup", cfg.cluster.seed, s);
     struct Out {
       double runtime;
       std::uint64_t migrations;

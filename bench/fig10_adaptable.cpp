@@ -46,6 +46,7 @@ VariantResult run_variant(const char* label,
   if (factory) s.cluster().set_balancer_all(factory);
   add_compile_clients(s, quick);
   s.run();
+  bench::dump_observability("fig10_adaptable", cfg.cluster.seed, s);
   if (seed == 31) {  // print the timeline once per variant
     std::printf("\n");
     bench::print_throughput_series(s, quick ? 2 * kSec : 5 * kSec, label);

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -56,7 +59,44 @@ struct RunSpec {
   BalancerFactory balancer;     // null = no balancing (pure single-auth)
   std::function<void(sim::Scenario&)> add_clients;
   ScenarioTweak before_run;     // e.g. install probes
+  std::string label;            // observability dump prefix (default "run")
 };
+
+/// With MANTLE_OBS_DIR set, dump the scenario's metrics snapshot
+/// (Prometheus text + JSON) and its event timeline (JSON) into that
+/// directory as <label>-seed<seed>-<n>.{prom,metrics.json,trace.json}.
+/// run_scenario() calls this automatically; benches that drive a
+/// sim::Scenario by hand call it after run(). File *contents* are pure
+/// functions of (config, seed); only the `n` uniquifier depends on
+/// completion order under run_seeds_parallel().
+inline void dump_observability(const std::string& label, std::uint64_t seed,
+                               sim::Scenario& s) {
+  const char* dir = std::getenv("MANTLE_OBS_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "obs: cannot create %s: %s\n", dir,
+                 ec.message().c_str());
+    return;
+  }
+  const std::string stem = std::string(dir) + "/" +
+                           (label.empty() ? "run" : label) + "-seed" +
+                           std::to_string(seed) + "-" + std::to_string(n);
+  const auto write = [&](const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << body;
+  };
+  write(stem + ".prom", s.cluster().metrics().to_prometheus());
+  write(stem + ".metrics.json", s.cluster().metrics().to_json());
+  write(stem + ".trace.json", s.cluster().trace().to_json());
+}
+
+inline void dump_observability(const RunSpec& spec, sim::Scenario& s) {
+  dump_observability(spec.label, spec.seed, s);
+}
 
 inline RunResult run_scenario(const RunSpec& spec,
                               std::unique_ptr<sim::Scenario>* keep = nullptr) {
@@ -70,6 +110,7 @@ inline RunResult run_scenario(const RunSpec& spec,
   spec.add_clients(s);
   if (spec.before_run) spec.before_run(s);
   s.run();
+  dump_observability(spec, s);
 
   RunResult r;
   r.makespan_s = to_seconds(s.makespan());

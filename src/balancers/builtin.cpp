@@ -10,7 +10,16 @@ using mantle::mds::MdsRank;
 
 namespace {
 constexpr double kIdle = 0.01;  // the ".01" idleness threshold of the listings
+
+/// Views built by tests, the policy validator, or a shrunken cluster can
+/// carry a whoami outside [0, size()) — indexing view.loads[whoami] would
+/// then be UB. Every policy treats such a view as "nothing to do".
+bool self_in_view(const cluster::ClusterView& view) {
+  return view.whoami >= 0 &&
+         static_cast<std::size_t>(view.whoami) < view.size();
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // OriginalBalancer (Table 1)
@@ -26,7 +35,7 @@ double OriginalBalancer::mdsload(const HeartbeatPayload& hb) const {
 }
 
 bool OriginalBalancer::when(const ClusterView& view) {
-  if (view.size() == 0) return false;  // degenerate view: nothing to balance
+  if (!self_in_view(view)) return false;  // degenerate view: nothing to do
   const double avg = view.total_load / static_cast<double>(view.size());
   return view.loads[static_cast<std::size_t>(view.whoami)] > avg;
 }
@@ -35,7 +44,7 @@ std::vector<double> OriginalBalancer::where(const ClusterView& view) {
   // Partition the cluster into exporters and importers around the mean and
   // hand my excess to importers in proportion to their deficit.
   std::vector<double> targets(view.size(), 0.0);
-  if (view.size() == 0) return targets;
+  if (!self_in_view(view)) return targets;
   const double avg = view.total_load / static_cast<double>(view.size());
   const double my = view.loads[static_cast<std::size_t>(view.whoami)];
   const double excess = my - avg;
@@ -59,6 +68,7 @@ std::vector<double> OriginalBalancer::where(const ClusterView& view) {
 // ---------------------------------------------------------------------------
 
 bool GreedySpillBalancer::when(const ClusterView& view) {
+  if (!self_in_view(view)) return false;
   const auto me = static_cast<std::size_t>(view.whoami);
   const std::size_t next = me + 1;
   if (next >= view.size()) return false;  // MDSs[whoami+1] undefined
@@ -67,6 +77,7 @@ bool GreedySpillBalancer::when(const ClusterView& view) {
 
 std::vector<double> GreedySpillBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
+  if (!self_in_view(view)) return targets;
   const auto me = static_cast<std::size_t>(view.whoami);
   if (me + 1 < view.size())
     targets[me + 1] = view.mdss[me].all_metaload / 2.0;
@@ -88,7 +99,7 @@ MdsRank GreedySpillEvenBalancer::bisect_target(int whoami0, int n) {
 }
 
 bool GreedySpillEvenBalancer::when(const ClusterView& view) {
-  if (view.size() == 0) return false;
+  if (!self_in_view(view)) return false;
   const auto me = static_cast<std::size_t>(view.whoami);
   MdsRank t = bisect_target(view.whoami, static_cast<int>(view.size()));
   if (t == kNoRank) return false;
@@ -104,7 +115,9 @@ bool GreedySpillEvenBalancer::when(const ClusterView& view) {
 
 std::vector<double> GreedySpillEvenBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
-  if (target_ != kNoRank && target_ != view.whoami)
+  if (!self_in_view(view)) return targets;
+  if (target_ != kNoRank && target_ != view.whoami &&
+      static_cast<std::size_t>(target_) < view.size())
     targets[static_cast<std::size_t>(target_)] =
         view.loads[static_cast<std::size_t>(view.whoami)] / 2.0;
   return targets;
@@ -115,7 +128,7 @@ std::vector<double> GreedySpillEvenBalancer::where(const ClusterView& view) {
 // ---------------------------------------------------------------------------
 
 bool FillSpillBalancer::when(const ClusterView& view) {
-  if (view.size() == 0) return false;
+  if (!self_in_view(view)) return false;
   const auto me = static_cast<std::size_t>(view.whoami);
   go_ = false;
   if (view.mdss[me].cpu_pct > opt_.cpu_threshold) {
@@ -134,6 +147,7 @@ bool FillSpillBalancer::when(const ClusterView& view) {
 
 std::vector<double> FillSpillBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
+  if (!self_in_view(view)) return targets;
   const auto me = static_cast<std::size_t>(view.whoami);
   if (me + 1 < view.size())
     targets[me + 1] = view.loads[me] * opt_.spill_fraction;
@@ -145,7 +159,7 @@ std::vector<double> FillSpillBalancer::where(const ClusterView& view) {
 // ---------------------------------------------------------------------------
 
 bool AdaptableBalancer::when(const ClusterView& view) {
-  if (view.size() == 0) return false;
+  if (!self_in_view(view)) return false;
   const double my = view.loads[static_cast<std::size_t>(view.whoami)];
   double max_load = 0.0;
   for (const double l : view.loads) max_load = std::max(max_load, l);
@@ -168,7 +182,7 @@ bool AdaptableBalancer::when(const ClusterView& view) {
 
 std::vector<double> AdaptableBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
-  if (view.size() == 0) return targets;
+  if (!self_in_view(view)) return targets;
   const double target_load =
       view.total_load / static_cast<double>(view.size());
   for (std::size_t i = 0; i < view.size(); ++i) {
@@ -189,14 +203,14 @@ double HashBalancer::metaload(const PopSnapshot& p) const {
 bool HashBalancer::when(const ClusterView& view) {
   // Hash placement ignores load entirely: whoever holds more than an even
   // share (entry-wise proxied by auth load) keeps pushing outwards.
-  if (view.size() == 0) return false;
+  if (!self_in_view(view)) return false;
   const double avg = view.total_load / static_cast<double>(view.size());
   return view.loads[static_cast<std::size_t>(view.whoami)] > avg * 1.05;
 }
 
 std::vector<double> HashBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
-  if (view.size() == 0) return targets;
+  if (!self_in_view(view)) return targets;
   const double avg = view.total_load / static_cast<double>(view.size());
   for (std::size_t i = 0; i < view.size(); ++i) {
     if (static_cast<MdsRank>(i) == view.whoami) continue;

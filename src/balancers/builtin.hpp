@@ -93,11 +93,17 @@ class FillSpillBalancer final : public Balancer {
   struct Options {
     double cpu_threshold = 48.0;  // from the paper's capacity study (§2.2.3)
     double spill_fraction = 0.25; // paper: 25% beats 10%
-    int hold_iterations = 2;      // "overloaded for 3 straight iterations"
+    /// Confirmations required before spilling: the first overloaded tick
+    /// arms the hold and each further consecutive overloaded tick counts
+    /// it down, so spilling starts on overloaded tick hold_iterations+1
+    /// ("overloaded for 3 straight iterations" with the default 2). Any
+    /// cool tick re-arms the full hold.
+    int hold_iterations = 2;
   };
 
-  FillSpillBalancer() = default;
-  explicit FillSpillBalancer(Options opt) : opt_(opt) {}
+  FillSpillBalancer() : FillSpillBalancer(Options{}) {}
+  explicit FillSpillBalancer(Options opt)
+      : opt_(opt), wait_(opt.hold_iterations) {}
 
   std::string name() const override { return "fill-and-spill"; }
   double metaload(const PopSnapshot& pop) const override {
@@ -116,7 +122,8 @@ class FillSpillBalancer final : public Balancer {
 
  private:
   Options opt_{};
-  int wait_ = 0;   // the WRstate/RDstate counter of Listing 3
+  int wait_ = 0;   // the WRstate/RDstate counter of Listing 3; armed to
+                   // hold_iterations by the constructors and on cool ticks
   bool go_ = false;
 };
 

@@ -8,6 +8,11 @@
 #include "common/time.hpp"
 #include "mds/types.hpp"
 
+namespace mantle::obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace mantle::obs
+
 /// \file balancer.hpp
 /// The policy boundary. CephFS hard-wires balancing policy into the MDS
 /// ("the problem is that the policies are hardwired into the system, not
@@ -113,6 +118,14 @@ class Balancer {
   /// every listed selector and keeps the one whose shipped load lands
   /// closest to the target (paper §3.2).
   virtual std::vector<std::string> howmuch() const = 0;
+
+  /// Called when the balancer is installed on a node: policies that keep
+  /// their own instrumentation (e.g. Mantle's per-hook timing and
+  /// sanitization counters) register it against the cluster's registry
+  /// and trace sink here. Either pointer may be null; the default is a
+  /// no-op so plain policies need not care.
+  virtual void attach_observability(obs::MetricsRegistry* /*metrics*/,
+                                    obs::TraceSink* /*trace*/) {}
 };
 
 /// A dirfrag selector: given candidates (sorted by descending load) and a

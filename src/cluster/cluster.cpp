@@ -65,6 +65,62 @@ MetaOp op_to_meta(OpType op) {
 }  // namespace
 
 // ===========================================================================
+// ClusterMetrics
+// ===========================================================================
+
+ClusterMetrics::ClusterMetrics(obs::MetricsRegistry& reg)
+    : requests_completed(reg.counter("mds_requests_completed_total",
+                                     "client requests answered")),
+      requests_dropped(reg.counter("mds_requests_dropped_total",
+                                   "requests lost to dead ranks")),
+      forwards(reg.counter("mds_forwards_total",
+                           "misdirected requests bounced to the authority")),
+      hb_sent(reg.counter("mds_heartbeats_sent_total",
+                          "heartbeat deliveries scheduled")),
+      hb_received(reg.counter("mds_heartbeats_received_total",
+                              "heartbeats landed at a live peer")),
+      hb_dropped(reg.counter("mds_heartbeats_dropped_total",
+                             "heartbeats lost to injected network faults")),
+      hb_duplicated(reg.counter("mds_heartbeats_duplicated_total",
+                                "heartbeats duplicated by network faults")),
+      when_true(reg.counter("bal_when_true_total",
+                            "balancer ticks that decided to migrate")),
+      when_false(reg.counter("bal_when_false_total",
+                             "balancer ticks that decided to hold")),
+      exports_started(reg.counter("migrations_started_total",
+                                  "2PC subtree exports begun")),
+      exports_committed(reg.counter("migrations_committed_total",
+                                    "2PC subtree exports committed")),
+      exports_aborted(reg.counter("migrations_aborted_total",
+                                  "2PC exports aborted by a crash")),
+      splits(reg.counter("dirfrag_splits_total",
+                         "directory fragments split on size")),
+      merges(reg.counter("dirfrag_merges_total",
+                         "fragmented directories merged back")),
+      dead_letter_parked(reg.counter("dead_letter_parked_total",
+                                     "requests parked on down subtrees")),
+      dead_letter_flushed(reg.counter("dead_letter_flushed_total",
+                                      "parked requests re-injected")),
+      crashes(reg.counter("mds_crashes_total", "MDS processes killed")),
+      restarts(reg.counter("mds_restarts_total", "MDS restarts begun")),
+      takeovers(reg.counter("mds_takeovers_total",
+                            "dead ranks adopted by a survivor")),
+      sessions_flushed(reg.counter("client_sessions_flushed_total",
+                                   "client sessions flushed on moves")),
+      request_latency_ms(reg.histogram("request_latency_ms",
+                                       obs::buckets::latency_ms(),
+                                       "client-visible request latency")),
+      migration_entries(reg.histogram("migration_entries",
+                                      obs::buckets::entries(),
+                                      "dentries moved per committed export")),
+      migration_duration_ms(reg.histogram("migration_duration_ms",
+                                          obs::buckets::latency_ms(),
+                                          "2PC start-to-commit wall time")),
+      replay_entries(reg.histogram("journal_replay_entries",
+                                   obs::buckets::entries(),
+                                   "journal entries replayed per recovery")) {}
+
+// ===========================================================================
 // MdsNode
 // ===========================================================================
 
@@ -81,8 +137,16 @@ void MdsNode::on_arrival(Request r) {
 }
 
 void MdsNode::on_heartbeat(const HeartbeatPayload& hb) {
-  if (hb.rank >= 0 && static_cast<std::size_t>(hb.rank) < hb_.size())
+  if (hb.rank >= 0 && static_cast<std::size_t>(hb.rank) < hb_.size()) {
     hb_[static_cast<std::size_t>(hb.rank)] = hb;
+    const Time now = cluster_.engine().now();
+    cluster_.om_.hb_received.inc();
+    cluster_.trace_.event(
+        now, obs::EventKind::HeartbeatReceived, rank_, hb.rank, {},
+        {{"age_us", static_cast<double>(now - hb.sent_at)},
+         {"load", hb.all_metaload},
+         {"cpu", hb.cpu_pct}});
+  }
 }
 
 void MdsNode::maybe_start() {
@@ -165,6 +229,7 @@ void MdsNode::process_front() {
   if (auth != rank_ && auth != kNoRank) {
     // Misdirected: bounce to the authority (the "forward" of Figure 3b).
     ++stats_.forwards_out;
+    cluster_.om_.forwards.inc();
     ++r.hops;
     forward_pop_.hit(eng.now(), cluster_.ns().decay_rate());
     const Time fwd = cluster_.config().svc_forward;
@@ -341,6 +406,7 @@ void MdsNode::complete(Request r, Time /*svc*/) {
 
   ++stats_.completed;
   ++done_in_window_;
+  cluster_.om_.requests_completed.inc();
   stats_.throughput.record(now);
   cluster_.note_session(rank_, r.client);
   cluster_.deliver_reply(rep);
@@ -396,9 +462,20 @@ void MdsNode::tick() {
   NetworkFaults* nf = cluster_.network_faults();
   for (int p = 0; p < cluster_.num_mds(); ++p) {
     if (p == rank_) continue;
-    if (nf != nullptr && nf->drop_heartbeat(rank_, p)) continue;
+    if (nf != nullptr && nf->drop_heartbeat(rank_, p)) {
+      cluster_.om_.hb_dropped.inc();
+      cluster_.trace_.event(now, obs::EventKind::HeartbeatDropped, rank_, p);
+      continue;
+    }
     int copies = 1;
-    if (nf != nullptr && nf->duplicate_heartbeat(rank_, p)) copies = 2;
+    if (nf != nullptr && nf->duplicate_heartbeat(rank_, p)) {
+      copies = 2;
+      cluster_.om_.hb_duplicated.inc();
+      cluster_.trace_.event(now, obs::EventKind::HeartbeatDuplicated, rank_, p);
+    }
+    cluster_.om_.hb_sent.inc();
+    cluster_.trace_.event(now, obs::EventKind::HeartbeatSent, rank_, p, {},
+                          {{"load", me.all_metaload}, {"cpu", me.cpu_pct}});
     for (int c = 0; c < copies; ++c) {
       Time delay = cfg.hb_delay;
       if (cfg.hb_jitter_frac > 0.0) {
@@ -438,9 +515,31 @@ void MdsNode::tick() {
       view.total_load += view.loads[i];
     }
 
-    if (view.total_load >= cfg.bal_min_load && balancer_->when(view)) {
+    const bool migrate =
+        view.total_load >= cfg.bal_min_load && balancer_->when(view);
+    (migrate ? cluster_.om_.when_true : cluster_.om_.when_false).inc();
+    const std::size_t me_idx = static_cast<std::size_t>(rank_);
+    cluster_.trace_.event(
+        now, obs::EventKind::WhenDecision, rank_, -1, {},
+        {{"go", migrate ? 1.0 : 0.0},
+         {"my_load", me_idx < view.loads.size() ? view.loads[me_idx] : 0.0},
+         {"total_load", view.total_load}});
+    if (migrate) {
       std::vector<double> targets = balancer_->where(view);
       targets.resize(hb_.size(), 0.0);
+      {
+        obs::TraceEvent ev;
+        ev.at = now;
+        ev.kind = obs::EventKind::WhereDecision;
+        ev.rank = rank_;
+        for (std::size_t t = 0; t < targets.size(); ++t)
+          if (targets[t] > 0.0 && static_cast<MdsRank>(t) != rank_)
+            ev.fields.emplace_back("to" + std::to_string(t), targets[t]);
+        cluster_.trace_.record(std::move(ev));
+      }
+      // One howmuch() per tick: the strategy list is a per-policy constant,
+      // not a per-target one.
+      const std::vector<std::string> selectors = balancer_->howmuch();
       for (std::size_t t = 0; t < targets.size(); ++t) {
         if (static_cast<MdsRank>(t) == rank_) continue;
         if (!view.alive[t]) continue;  // never export to a laggy/dead peer
@@ -449,7 +548,14 @@ void MdsNode::tick() {
         std::vector<ExportCandidate> pool =
             cluster_.gather_candidates(rank_, goal, *balancer_, now);
         const std::vector<std::size_t> picks =
-            best_selection(balancer_->howmuch(), pool, goal);
+            best_selection(selectors, pool, goal);
+        cluster_.trace_.event(
+            now, obs::EventKind::HowmuchDecision, rank_, static_cast<int>(t),
+            {},
+            {{"goal", goal},
+             {"pool", static_cast<double>(pool.size())},
+             {"picked", static_cast<double>(picks.size())},
+             {"shipped", selection_load(pool, picks)}});
         for (const std::size_t idx : picks)
           cluster_.export_subtree(pool[idx].frag, static_cast<MdsRank>(t));
       }
@@ -467,7 +573,7 @@ void MdsNode::tick() {
 // ===========================================================================
 
 MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
-    : engine_(engine), cfg_(cfg), rng_(cfg.seed) {
+    : engine_(engine), cfg_(cfg), rng_(cfg.seed), om_(metrics_) {
   sessions_.resize(static_cast<std::size_t>(cfg_.num_mds));
   life_.resize(static_cast<std::size_t>(cfg_.num_mds), NodeLife::Up);
   crash_epoch_.resize(static_cast<std::size_t>(cfg_.num_mds), 0);
@@ -483,11 +589,16 @@ MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
 }
 
 void MdsCluster::set_balancer(MdsRank rank, std::unique_ptr<Balancer> b) {
+  if (b != nullptr) b->attach_observability(&metrics_, &trace_);
   node(rank).set_balancer(std::move(b));
 }
 
 void MdsCluster::set_balancer_all(const BalancerFactory& factory) {
-  for (int r = 0; r < num_mds(); ++r) node(r).set_balancer(factory(r));
+  for (int r = 0; r < num_mds(); ++r) {
+    std::unique_ptr<Balancer> b = factory(r);
+    if (b != nullptr) b->attach_observability(&metrics_, &trace_);
+    node(r).set_balancer(std::move(b));
+  }
 }
 
 void MdsCluster::schedule_tick(MdsRank rank) {
@@ -517,6 +628,7 @@ void MdsCluster::client_submit(Request r, MdsRank guess) {
   engine_.schedule_after(cfg_.net_latency, [this, guess, r = std::move(r)]() mutable {
     if (!is_up(guess)) {
       ++requests_dropped_;  // dead host: no reply; client retry recovers
+      om_.requests_dropped.inc();
       return;
     }
     node(guess).on_arrival(std::move(r));
@@ -527,6 +639,7 @@ void MdsCluster::route_to(MdsRank rank, Request r) {
   engine_.schedule_after(cfg_.net_latency, [this, rank, r = std::move(r)]() mutable {
     if (!is_up(rank)) {
       ++requests_dropped_;
+      om_.requests_dropped.inc();
       return;
     }
     node(rank).on_arrival(std::move(r));
@@ -730,9 +843,13 @@ bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to) {
 
   node(from).stats().exports++;
   node(to).stats().imports++;
+  om_.exports_started.inc();
 
   const Time duration =
       cfg_.mig_base + cfg_.mig_per_entry * static_cast<Time>(entries);
+  trace_.event(now, obs::EventKind::ExportStart, from, to, frag.str(),
+               {{"entries", static_cast<double>(entries)},
+                {"eta_ms", static_cast<double>(duration) / kMsec}});
   engine_.schedule_after(duration, [this, id]() { finish_migration(id); });
   MANTLE_LOG_INFO("migration start %s: mds%d -> mds%d (%zu entries)",
                   frag.str().c_str(), from, to, entries);
@@ -793,6 +910,15 @@ void MdsCluster::finish_migration(std::size_t idx) {
   mig.rec.sessions_flushed = flush_client_sessions(from, to);
 
   mig.rec.finished = now;
+  om_.exports_committed.inc();
+  om_.migration_entries.observe(static_cast<double>(mig.rec.entries));
+  om_.migration_duration_ms.observe(
+      static_cast<double>(now - mig.rec.started) / kMsec);
+  trace_.event(
+      now, obs::EventKind::ExportCommit, from, to, mig.rec.frag.str(),
+      {{"entries", static_cast<double>(mig.rec.entries)},
+       {"sessions_flushed", static_cast<double>(mig.rec.sessions_flushed)},
+       {"deferred", static_cast<double>(mig.deferred.size())}});
   migrations_.push_back(mig.rec);
 
   // Re-inject requests that arrived mid-migration at the new authority.
@@ -836,7 +962,41 @@ Time MdsCluster::replay_duration(MdsRank rank) const {
 
 void MdsCluster::log_recovery(RecoveryEvent::Kind kind, MdsRank rank,
                               MdsRank peer, std::uint64_t detail) {
-  recovery_log_.push_back({engine_.now(), kind, rank, peer, detail});
+  const Time now = engine_.now();
+  recovery_log_.push_back({now, kind, rank, peer, detail});
+
+  // Mirror the recovery timeline into the trace sink (with counters), so
+  // crash/takeover/replay land on the same timeline as the balancing and
+  // migration events they perturb.
+  obs::EventKind ek = obs::EventKind::Crash;
+  switch (kind) {
+    case RecoveryEvent::Kind::Crash:
+      ek = obs::EventKind::Crash;
+      om_.crashes.inc();
+      break;
+    case RecoveryEvent::Kind::MigrationAborted:
+      ek = obs::EventKind::ExportAbort;
+      om_.exports_aborted.inc();
+      break;
+    case RecoveryEvent::Kind::TakeoverStart:
+      ek = obs::EventKind::TakeoverStart;
+      om_.replay_entries.observe(static_cast<double>(detail));
+      break;
+    case RecoveryEvent::Kind::TakeoverComplete:
+      ek = obs::EventKind::TakeoverComplete;
+      om_.takeovers.inc();
+      break;
+    case RecoveryEvent::Kind::RestartStart:
+      ek = obs::EventKind::Restart;
+      om_.restarts.inc();
+      om_.replay_entries.observe(static_cast<double>(detail));
+      break;
+    case RecoveryEvent::Kind::ReplayComplete:
+      ek = obs::EventKind::ReplayComplete;
+      break;
+  }
+  trace_.event(now, ek, rank, peer, recovery_kind_name(kind),
+               {{"detail", static_cast<double>(detail)}});
 }
 
 void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
@@ -844,6 +1004,9 @@ void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
   if (is_up(auth)) {
     route_to(auth, std::move(r));
   } else {
+    om_.dead_letter_parked.inc();
+    trace_.event(engine_.now(), obs::EventKind::DeadLetterParked, auth, -1,
+                 frag.str(), {{"req", static_cast<double>(r.id)}});
     dead_letter_.emplace_back(frag, std::move(r));
   }
 }
@@ -851,6 +1014,11 @@ void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
 void MdsCluster::flush_dead_letters() {
   std::vector<std::pair<DirFragId, Request>> pending;
   pending.swap(dead_letter_);
+  if (!pending.empty()) {
+    om_.dead_letter_flushed.inc(pending.size());
+    trace_.event(engine_.now(), obs::EventKind::DeadLetterFlushed, -1, -1, {},
+                 {{"count", static_cast<double>(pending.size())}});
+  }
   for (auto& [frag, req] : pending) route_or_park(frag, std::move(req));
 }
 
@@ -1001,6 +1169,9 @@ bool MdsCluster::maybe_merge(InodeId dirino) {
     for (const DirFragId& r : child_roots) subtree_roots_.erase(r);
     subtree_roots_[{dirino, frag_t()}] = owner;
   }
+  om_.merges.inc();
+  trace_.event(engine_.now(), obs::EventKind::DirfragMerge, owner, -1,
+               DirFragId{dirino, frag_t()}.str());
   MANTLE_LOG_INFO("dirfrag merge: dir %llu back to a single fragment",
                   static_cast<unsigned long long>(dirino));
   return true;
@@ -1019,6 +1190,9 @@ void MdsCluster::maybe_split(const DirFragId& id) {
     subtree_roots_.erase(id);
     for (const frag_t k : kids) subtree_roots_[{id.ino, k}] = owner;
   }
+  om_.splits.inc();
+  trace_.event(engine_.now(), obs::EventKind::DirfragSplit, owner, -1,
+               id.str(), {{"fragments", static_cast<double>(kids.size())}});
   MANTLE_LOG_INFO("dirfrag split %s into %zu fragments", id.str().c_str(),
                   kids.size());
 }
@@ -1078,6 +1252,7 @@ std::size_t MdsCluster::flush_client_sessions(MdsRank a, MdsRank b) {
   flushed.insert(sessions_[static_cast<std::size_t>(b)].begin(),
                  sessions_[static_cast<std::size_t>(b)].end());
   sessions_flushed_ += flushed.size();
+  om_.sessions_flushed.inc(flushed.size());
   for (const int c : flushed) {
     Time& until = client_stall_until_[c];
     until = std::max(until, now + cfg_.session_flush_stall);
@@ -1086,6 +1261,9 @@ std::size_t MdsCluster::flush_client_sessions(MdsRank a, MdsRank b) {
 }
 
 void MdsCluster::deliver_reply(Reply rep) {
+  if (rep.finished_at >= rep.issued_at)
+    om_.request_latency_ms.observe(
+        static_cast<double>(rep.finished_at - rep.issued_at) / kMsec);
   Time when = engine_.now() + cfg_.net_latency;
   const auto it = client_stall_until_.find(rep.client);
   if (it != client_stall_until_.end() && it->second > when) when = it->second;

@@ -13,6 +13,8 @@
 #include "common/stats.hpp"
 #include "common/timeline.hpp"
 #include "mds/namespace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "store/object_store.hpp"
 
@@ -196,6 +198,38 @@ struct MdsStats {
 
 class MdsCluster;
 
+/// Cached handles into the cluster's metrics registry. Hot paths (request
+/// completion, heartbeat fan-out) bump these directly instead of paying a
+/// name lookup per event; the registry owns the storage.
+struct ClusterMetrics {
+  explicit ClusterMetrics(obs::MetricsRegistry& reg);
+
+  obs::Counter& requests_completed;
+  obs::Counter& requests_dropped;
+  obs::Counter& forwards;
+  obs::Counter& hb_sent;
+  obs::Counter& hb_received;
+  obs::Counter& hb_dropped;
+  obs::Counter& hb_duplicated;
+  obs::Counter& when_true;
+  obs::Counter& when_false;
+  obs::Counter& exports_started;
+  obs::Counter& exports_committed;
+  obs::Counter& exports_aborted;
+  obs::Counter& splits;
+  obs::Counter& merges;
+  obs::Counter& dead_letter_parked;
+  obs::Counter& dead_letter_flushed;
+  obs::Counter& crashes;
+  obs::Counter& restarts;
+  obs::Counter& takeovers;
+  obs::Counter& sessions_flushed;
+  obs::Histogram& request_latency_ms;
+  obs::Histogram& migration_entries;
+  obs::Histogram& migration_duration_ms;
+  obs::Histogram& replay_entries;
+};
+
 /// One metadata server: a FIFO service queue, per-window utilization
 /// accounting, heartbeat state, and a pluggable balancing policy.
 class MdsNode {
@@ -268,6 +302,15 @@ class MdsCluster {
   mantle::mds::Namespace& ns() { return ns_; }
   const mantle::mds::Namespace& ns() const { return ns_; }
   store::ObjectStore& object_store() { return store_; }
+
+  /// Cluster-wide metrics registry and structured trace sink. Always on:
+  /// every counter bump and trace record uses simulated time and
+  /// deterministic ordering, so two identical seeded runs export
+  /// byte-identical snapshots.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::TraceSink& trace() { return trace_; }
+  const obs::TraceSink& trace() const { return trace_; }
 
   int num_mds() const { return static_cast<int>(nodes_.size()); }
   MdsNode& node(MdsRank r) { return *nodes_.at(static_cast<std::size_t>(r)); }
@@ -438,6 +481,9 @@ class MdsCluster {
   Rng rng_;
   mantle::mds::Namespace ns_;
   store::ObjectStore store_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceSink trace_;
+  ClusterMetrics om_;  // cached handles into metrics_ (must follow it)
   std::vector<std::unique_ptr<MdsNode>> nodes_;
   std::vector<std::unique_ptr<store::Journal>> journals_;
 

@@ -50,9 +50,15 @@ class DecayCounter {
     value_ += delta;
   }
 
-  /// Scale the counter (used when splitting a dirfrag: each child inherits
-  /// a proportional share of the parent's heat).
-  void scale(double f) noexcept { value_ *= f; }
+  /// Scale the counter at time `now` (used when splitting a dirfrag: each
+  /// child inherits a proportional share of the parent's heat). Pending
+  /// decay is applied first, so the factor multiplies the value an
+  /// observer would read at `now` — scaling a stale raw value would hand
+  /// children a share of heat that should already have decayed away.
+  void scale(Time now, const DecayRate& rate, double f) noexcept {
+    decay_to(now, rate);
+    value_ *= f;
+  }
 
   /// Merge another counter that has already been decayed to the same time.
   void merge(const DecayCounter& other) noexcept { value_ += other.value_; }

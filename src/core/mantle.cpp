@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace mantle::core {
 
@@ -61,14 +62,19 @@ lua::TablePtr hb_to_table(const HeartbeatPayload& hb, double load,
 std::vector<double> sanitize_targets(const Value& targets, std::size_t n,
                                      const char* hook,
                                      std::uint64_t& hook_errors,
-                                     std::string& last_error) {
+                                     std::string& last_error,
+                                     obs::Counter* sanitized) {
+  const auto note = [&] {
+    ++hook_errors;
+    if (sanitized != nullptr) sanitized->inc();
+  };
   std::vector<double> out(n, 0.0);
   if (!targets.is_table()) return out;
   const lua::TablePtr t = targets.table();
   for (const auto& [key, val] : t->num_keys) {
     if (!std::isfinite(key) || key != std::floor(key) || key < 1.0 ||
         key > static_cast<double>(n)) {
-      ++hook_errors;
+      note();
       last_error = std::string(hook) + ": targets index out of range";
       MANTLE_LOG_WARN("mantle %s hook: ignoring targets[%g] (valid: 1..%zu)",
                       hook, key, n);
@@ -76,7 +82,7 @@ std::vector<double> sanitize_targets(const Value& targets, std::size_t n,
     }
     const double x = val.to_number().value_or(0.0);
     if (!std::isfinite(x) || x < 0.0) {
-      ++hook_errors;
+      note();
       last_error = std::string(hook) + ": non-finite or negative target";
       MANTLE_LOG_WARN("mantle %s hook: clamping targets[%g]=%g to 0", hook,
                       key, x);
@@ -86,7 +92,7 @@ std::vector<double> sanitize_targets(const Value& targets, std::size_t n,
   }
   for (const auto& [key, val] : t->str_keys) {
     (void)val;
-    ++hook_errors;
+    note();
     last_error = std::string(hook) + ": string key in targets";
     MANTLE_LOG_WARN("mantle %s hook: ignoring targets[\"%s\"]", hook,
                     key.c_str());
@@ -176,13 +182,50 @@ double MantleBalancer::eval_load_hook(const std::string& script,
   return v.to_number().value_or(0.0);
 }
 
+void MantleBalancer::attach_observability(obs::MetricsRegistry* metrics,
+                                          obs::TraceSink* /*trace*/) {
+  if (metrics == nullptr) {
+    for (int h = 0; h < kNumHooks; ++h)
+      hook_calls_[h] = hook_fail_[h] = nullptr;
+    for (int h = 0; h < kNumHooks; ++h) hook_steps_[h] = nullptr;
+    sanitized_ = nullptr;
+    return;
+  }
+  static constexpr const char* kHookNames[kNumHooks] = {
+      "metaload", "mdsload", "when", "where", "howmuch"};
+  for (int h = 0; h < kNumHooks; ++h) {
+    const std::string base = std::string("mantle_") + kHookNames[h];
+    hook_calls_[h] =
+        &metrics->counter(base + "_calls_total", "hook evaluations");
+    hook_fail_[h] =
+        &metrics->counter(base + "_errors_total", "failed hook evaluations");
+    hook_steps_[h] = &metrics->histogram(base + "_lua_steps",
+                                         obs::buckets::lua_steps(),
+                                         "interpreter steps per evaluation");
+  }
+  sanitized_ = &metrics->counter("mantle_targets_sanitized_total",
+                                 "bogus targets entries clamped/ignored");
+}
+
+void MantleBalancer::note_hook(Hook h, bool failed) const {
+  if (hook_calls_[h] == nullptr) return;
+  hook_calls_[h]->inc();
+  if (failed) hook_fail_[h]->inc();
+  // steps_used() resets at the start of every run/eval, so reading it
+  // after the hook gives exactly this evaluation's cost.
+  hook_steps_[h]->observe(static_cast<double>(lua_.steps_used()));
+}
+
 double MantleBalancer::metaload(const PopSnapshot& pop) const {
   lua_.set_global("IRD", Value(pop.ird));
   lua_.set_global("IWR", Value(pop.iwr));
   lua_.set_global("READDIR", Value(pop.readdir));
   lua_.set_global("FETCH", Value(pop.fetch));
   lua_.set_global("STORE", Value(pop.store));
-  return eval_load_hook(policy_.metaload, "metaload");
+  const std::uint64_t errs = hook_errors_;
+  const double v = eval_load_hook(policy_.metaload, "metaload");
+  note_hook(kMetaload, hook_errors_ != errs);
+  return v;
 }
 
 double MantleBalancer::mdsload(const HeartbeatPayload& hb) const {
@@ -193,7 +236,10 @@ double MantleBalancer::mdsload(const HeartbeatPayload& hb) const {
   mdss->set(Value(idx), Value(hb_to_table(hb, 0.0, 1.0)));
   lua_.set_global("MDSs", Value(mdss));
   lua_.set_global("i", Value(idx));
-  return eval_load_hook(policy_.mdsload, "mdsload");
+  const std::uint64_t errs = hook_errors_;
+  const double v = eval_load_hook(policy_.mdsload, "mdsload");
+  note_hook(kMdsload, hook_errors_ != errs);
+  return v;
 }
 
 void MantleBalancer::bind_view(const ClusterView& view) {
@@ -254,14 +300,18 @@ bool MantleBalancer::when(const ClusterView& view) {
     ++hook_errors_;
     last_error_ = r.error;
     MANTLE_LOG_WARN("mantle when hook failed: %s", r.error.c_str());
+    note_hook(kWhen, true);
     return false;
   }
 
   // A combined hook may have filled targets directly (Listings 1-2 style).
-  pending_targets_ = sanitize_targets(lua_.get_global("targets"), view.size(),
-                                      "when", hook_errors_, last_error_);
+  const std::uint64_t errs = hook_errors_;
+  pending_targets_ =
+      sanitize_targets(lua_.get_global("targets"), view.size(), "when",
+                       hook_errors_, last_error_, sanitized_);
   for (const double x : pending_targets_)
     if (x > 0.0) when_filled_targets_ = true;
+  note_hook(kWhen, hook_errors_ != errs);
   return explicit_result ? result : when_filled_targets_;
 }
 
@@ -276,15 +326,21 @@ std::vector<double> MantleBalancer::where(const ClusterView& view) {
     ++hook_errors_;
     last_error_ = r.error;
     MANTLE_LOG_WARN("mantle where hook failed: %s", r.error.c_str());
+    note_hook(kWhere, true);
     return std::vector<double>(view.size(), 0.0);
   }
-  return sanitize_targets(lua_.get_global("targets"), view.size(), "where",
-                          hook_errors_, last_error_);
+  const std::uint64_t errs = hook_errors_;
+  std::vector<double> out =
+      sanitize_targets(lua_.get_global("targets"), view.size(), "where",
+                       hook_errors_, last_error_, sanitized_);
+  note_hook(kWhere, hook_errors_ != errs);
+  return out;
 }
 
 std::vector<std::string> MantleBalancer::howmuch() const {
   if (policy_.howmuch.empty()) return {"big_first"};
   lua::RunResult r = lua_.eval(policy_.howmuch, "howmuch");
+  note_hook(kHowmuch, !r.ok);
   if (!r.ok || !r.first().is_table()) {
     if (!r.ok) {
       ++hook_errors_;
@@ -469,13 +525,18 @@ MantlePolicy fill_and_spill(double cpu_threshold, double spill_fraction) {
   p.metaload = "IRD + IWR";
   p.mdsload = "MDSs[i][\"all\"]";
   char buf[512];
+  // Listing 3 counts *down* from persistent state, but the state slot
+  // starts at 0, which would spill on the very first overloaded tick
+  // instead of after the advertised "3 straight iterations". Counting the
+  // streak *up* from 0 arms the full hold from a cold start and after
+  // every cool tick (matches builtin::FillSpillBalancer).
   std::snprintf(buf, sizeof(buf), R"lua(
 -- When policy (Listing 3)
-wait=RDState(); go = 0;
+streak=RDState(); go = 0;
 if MDSs[whoami]["cpu"]>%g then
-  if wait>0 then WRState(wait-1)
-  else WRState(2); go=1; end
-else WRState(2) end
+  if streak<2 then WRState(streak+1)
+  else WRState(0); go=1; end
+else WRState(0) end
 if go==1 and MDSs[whoami+1] ~= nil then
 -- Where policy
 targets[whoami+1] = MDSs[whoami]["load"]*%g

@@ -50,6 +50,11 @@
 /// hook_errors() — a buggy policy degrades to "no migration", never to a
 /// corrupted export.
 
+namespace mantle::obs {
+class Counter;
+class Histogram;
+}  // namespace mantle::obs
+
 namespace mantle::core {
 
 /// The five injectable policies.
@@ -97,6 +102,14 @@ class MantleBalancer final : public cluster::Balancer {
   std::vector<double> where(const cluster::ClusterView& view) override;
   std::vector<std::string> howmuch() const override;
 
+  /// Register per-hook instrumentation: invocation/error counters, a
+  /// sanitization counter, and an interpreter-step histogram per hook.
+  /// Steps stand in for wall time — they measure the same thing (how much
+  /// work the injected policy does) while staying deterministic, so
+  /// instrumented runs remain byte-reproducible.
+  void attach_observability(obs::MetricsRegistry* metrics,
+                            obs::TraceSink* trace) override;
+
   /// Replace one hook at runtime (the `injectargs` path). Returns the
   /// validation error, or empty on success.
   std::string inject(const std::string& key, const std::string& script);
@@ -109,9 +122,15 @@ class MantleBalancer final : public cluster::Balancer {
   const std::string& last_error() const { return last_error_; }
 
  private:
+  /// Index into the per-hook instrumentation arrays.
+  enum Hook { kMetaload = 0, kMdsload, kWhen, kWhere, kHowmuch, kNumHooks };
+
   void bind_view(const cluster::ClusterView& view);
   void bind_state_functions();
   double eval_load_hook(const std::string& script, const char* result_global) const;
+  /// Bump the hook's call/error counters and record the interpreter steps
+  /// the evaluation consumed. No-op until attach_observability().
+  void note_hook(Hook h, bool failed) const;
 
   MantlePolicy policy_;
   Options opt_;
@@ -121,6 +140,13 @@ class MantleBalancer final : public cluster::Balancer {
   lua::Value state_;                     // WRstate/RDstate slot
   std::vector<double> pending_targets_;  // filled by a combined when-hook
   bool when_filled_targets_ = false;
+
+  // Observability handles (owned by the cluster's registry; null until
+  // attach_observability). The pointees are updated from const hooks.
+  obs::Counter* hook_calls_[kNumHooks] = {};
+  obs::Counter* hook_fail_[kNumHooks] = {};
+  obs::Histogram* hook_steps_[kNumHooks] = {};
+  obs::Counter* sanitized_ = nullptr;
 };
 
 /// Validate a policy before injecting it into a live cluster: parse every

@@ -27,14 +27,29 @@ void FaultInjector::arm(cluster::MdsCluster& cluster) {
 
   for (const CrashEvent& c : plan_.crashes) {
     cluster.engine().schedule_at(c.at, [this, c]() {
-      if (cluster_->crash_mds(c.rank)) ++counters_.crashes;
+      if (cluster_->crash_mds(c.rank)) {
+        ++counters_.crashes;
+        note_fault("crash", c.rank);
+      }
     });
   }
   for (const RestartEvent& r : plan_.restarts) {
     cluster.engine().schedule_at(r.at, [this, r]() {
-      if (cluster_->restart_mds(r.rank)) ++counters_.restarts;
+      if (cluster_->restart_mds(r.rank)) {
+        ++counters_.restarts;
+        note_fault("restart", r.rank);
+      }
     });
   }
+}
+
+void FaultInjector::note_fault(const char* what, MdsRank rank) {
+  if (cluster_ == nullptr) return;
+  cluster_->metrics()
+      .counter("faults_injected_total", "faults the injector actually fired")
+      .inc();
+  cluster_->trace().event(cluster_->engine().now(),
+                          obs::EventKind::FaultInjected, rank, -1, what);
 }
 
 bool FaultInjector::store_faults_active() const {

@@ -88,6 +88,8 @@ class FaultInjector : public cluster::NetworkFaults {
 
  private:
   bool store_faults_active() const;
+  /// Record one fired fault in the cluster's metrics + trace timeline.
+  void note_fault(const char* what, MdsRank rank);
 
   FaultPlan plan_;
   Rng rng_;

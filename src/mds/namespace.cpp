@@ -308,9 +308,8 @@ std::vector<frag_t> Namespace::split(const DirFragId& id, std::uint8_t bits,
     child.dirty = parent.dirty;
     // Each child inherits a proportional share of the parent's heat so the
     // balancer's view stays continuous across a split.
-    parent.pop.sync(now, rate_);
     child.pop = parent.pop;
-    child.pop.scale(share);
+    child.pop.scale(now, rate_, share);
     auto [kit, inserted] = d->frags.emplace(cf, std::move(child));
     kids.push_back(&kit->second);
     out.push_back(cf);

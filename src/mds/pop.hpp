@@ -40,8 +40,9 @@ class PopVector {
            4.0 * get(MetaOp::STORE, now, rate);
   }
 
-  void scale(double f) {
-    for (auto& c : counters_) c.scale(f);
+  /// Scale every counter at `now` (decays first; see DecayCounter::scale).
+  void scale(Time now, const DecayRate& rate, double f) {
+    for (auto& c : counters_) c.scale(now, rate, f);
   }
 
   /// Apply pending decay on all counters up to `now` so that scale() and

@@ -1,0 +1,147 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.hpp"  // format_metric_value
+
+namespace mantle::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::HeartbeatSent: return "hb-sent";
+    case EventKind::HeartbeatReceived: return "hb-received";
+    case EventKind::HeartbeatDropped: return "hb-dropped";
+    case EventKind::HeartbeatDuplicated: return "hb-duplicated";
+    case EventKind::WhenDecision: return "when";
+    case EventKind::WhereDecision: return "where";
+    case EventKind::HowmuchDecision: return "howmuch";
+    case EventKind::ExportStart: return "export-start";
+    case EventKind::ExportCommit: return "export-commit";
+    case EventKind::ExportAbort: return "export-abort";
+    case EventKind::DirfragSplit: return "dirfrag-split";
+    case EventKind::DirfragMerge: return "dirfrag-merge";
+    case EventKind::DeadLetterParked: return "dead-letter-parked";
+    case EventKind::DeadLetterFlushed: return "dead-letter-flushed";
+    case EventKind::Crash: return "crash";
+    case EventKind::Restart: return "restart";
+    case EventKind::TakeoverStart: return "takeover-start";
+    case EventKind::TakeoverComplete: return "takeover-complete";
+    case EventKind::ReplayComplete: return "replay-complete";
+    case EventKind::FaultInjected: return "fault-injected";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceSink::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::event(
+    Time at, EventKind kind, int rank, int peer, std::string detail,
+    std::initializer_list<std::pair<const char*, double>> fields) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.rank = rank;
+  ev.peer = peer;
+  ev.detail = std::move(detail);
+  ev.fields.reserve(fields.size());
+  for (const auto& [k, v] : fields) ev.fields.emplace_back(k, v);
+  record(std::move(ev));
+}
+
+std::size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceSink::dropped_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+void TraceSink::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceSink::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "[";
+  char buf[64];
+  bool first_ev = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first_ev) out += ",";
+    first_ev = false;
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, ev.at);
+    out += "{\"t_us\":";
+    out += buf;
+    out += ",\"kind\":\"";
+    out += event_kind_name(ev.kind);
+    out += "\"";
+    if (ev.rank >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"rank\":%d", ev.rank);
+      out += buf;
+    }
+    if (ev.peer >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"peer\":%d", ev.peer);
+      out += buf;
+    }
+    if (!ev.detail.empty())
+      out += ",\"detail\":\"" + json_escape(ev.detail) + "\"";
+    if (!ev.fields.empty()) {
+      out += ",\"fields\":{";
+      bool first_f = true;
+      for (const auto& [k, v] : ev.fields) {
+        if (!first_f) out += ",";
+        first_f = false;
+        out += "\"" + json_escape(k) + "\":" + format_metric_value(v);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mantle::obs

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+/// \file trace.hpp
+/// The tracing half of the observability layer: a bounded, append-only
+/// sink of typed events with *simulated* timestamps. Everything an
+/// operator would want on a timeline when debugging a balancing run goes
+/// through here — heartbeat traffic, the when/where/howmuch decisions
+/// with their inputs and outputs, the 2PC export phases, dirfrag
+/// split/merge, crash/takeover/replay, dead-letter parking and fault
+/// injections. Because timestamps come from the discrete-event clock and
+/// payloads are appended in dispatch order, two identical seeded runs
+/// (faults included) serialize to byte-identical JSON.
+
+namespace mantle::obs {
+
+using mantle::Time;
+
+enum class EventKind : int {
+  HeartbeatSent = 0,
+  HeartbeatReceived,
+  HeartbeatDropped,
+  HeartbeatDuplicated,
+  WhenDecision,
+  WhereDecision,
+  HowmuchDecision,
+  ExportStart,
+  ExportCommit,
+  ExportAbort,
+  DirfragSplit,
+  DirfragMerge,
+  DeadLetterParked,
+  DeadLetterFlushed,
+  Crash,
+  Restart,
+  TakeoverStart,
+  TakeoverComplete,
+  ReplayComplete,
+  FaultInjected,
+};
+
+const char* event_kind_name(EventKind kind);
+
+/// One timeline entry. `rank` is the subject MDS, `peer` the other end
+/// (importer, heartbeat receiver, takeover survivor, ...); -1 = n/a.
+/// `detail` is a short deterministic string (dirfrag id, fault kind);
+/// `fields` carries the numeric inputs/outputs of the event in
+/// append order.
+struct TraceEvent {
+  Time at = 0;
+  EventKind kind = EventKind::HeartbeatSent;
+  int rank = -1;
+  int peer = -1;
+  std::string detail;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+class TraceSink {
+ public:
+  /// `capacity` bounds memory on long runs; once full, new events are
+  /// counted in dropped_events() instead of stored (the cap itself is
+  /// deterministic, so bounded timelines still compare byte-for-byte).
+  explicit TraceSink(std::size_t capacity = std::size_t{1} << 20)
+      : capacity_(capacity) {}
+
+  void record(TraceEvent ev);
+
+  /// Convenience builder for call sites.
+  void event(Time at, EventKind kind, int rank = -1, int peer = -1,
+             std::string detail = {},
+             std::initializer_list<std::pair<const char*, double>> fields = {});
+
+  std::size_t size() const;
+  std::uint64_t dropped_events() const;
+  std::vector<TraceEvent> snapshot() const;
+
+  /// The whole timeline as one JSON array of event objects.
+  std::string to_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mantle::obs

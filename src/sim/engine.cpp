@@ -9,6 +9,19 @@ void Engine::schedule_at(Time when, Callback fn) {
   queue_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
+void Engine::set_metrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    m_dispatched_ = nullptr;
+    m_now_s_ = nullptr;
+    m_pending_ = nullptr;
+    return;
+  }
+  m_dispatched_ = &reg->counter("sim_events_dispatched_total",
+                                "events executed by the discrete-event loop");
+  m_now_s_ = &reg->gauge("sim_now_seconds", "simulated clock");
+  m_pending_ = &reg->gauge("sim_pending_events", "events still queued");
+}
+
 std::uint64_t Engine::run_until(Time horizon) {
   std::uint64_t dispatched = 0;
   while (!queue_.empty()) {
@@ -23,10 +36,11 @@ std::uint64_t Engine::run_until(Time horizon) {
     now_ = when;
     fn();
     ++dispatched;
+    if (m_dispatched_ != nullptr) m_dispatched_->inc();
   }
-  if (queue_.empty() && now_ < horizon) {
-    // Nothing left; clock stays at the last dispatched event.
-  }
+  if (m_now_s_ != nullptr) m_now_s_->set(to_seconds(now_));
+  if (m_pending_ != nullptr)
+    m_pending_->set(static_cast<double>(queue_.size()));
   return dispatched;
 }
 

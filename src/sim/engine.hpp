@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
 
 /// \file engine.hpp
 /// Deterministic discrete-event engine. Events scheduled for the same
@@ -43,6 +44,11 @@ class Engine {
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
+  /// Attach a metrics registry: the engine keeps a dispatched-event
+  /// counter and clock/queue gauges fresh. Caller keeps ownership;
+  /// nullptr detaches.
+  void set_metrics(obs::MetricsRegistry* reg);
+
  private:
   struct Event {
     Time when;
@@ -59,6 +65,11 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  // Cached handles into the attached registry (null = not attached).
+  obs::Counter* m_dispatched_ = nullptr;
+  obs::Gauge* m_now_s_ = nullptr;
+  obs::Gauge* m_pending_ = nullptr;
 };
 
 }  // namespace mantle::sim

@@ -4,6 +4,7 @@ namespace mantle::sim {
 
 Scenario::Scenario(ScenarioConfig cfg) : cfg_(cfg) {
   cluster_ = std::make_unique<cluster::MdsCluster>(engine_, cfg_.cluster);
+  engine_.set_metrics(&cluster_->metrics());
   cluster_->set_reply_handler([this](const cluster::Reply& rep) {
     if (rep.client >= 0 &&
         static_cast<std::size_t>(rep.client) < clients_.size())

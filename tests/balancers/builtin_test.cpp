@@ -68,6 +68,24 @@ TEST(Original, WhereNothingWhenUnderloaded) {
   for (const double x : t) EXPECT_DOUBLE_EQ(x, 0.0);
 }
 
+TEST(Original, WhenThrashesEpsilonAboveMean) {
+  // Characterisation of the thrash the paper blames on the original
+  // balancer (Section 6 / Figure 10 discussion): *any* excess above the
+  // mean triggers when(), even one far too small to ever pay for a
+  // migration, so a near-balanced cluster keeps shuffling tiny slivers.
+  OriginalBalancer b;
+  const double eps = 1e-9;
+  const auto v = make_view(0, {100.0 + eps, 100.0, 100.0});
+  EXPECT_TRUE(b.when(v));
+  const auto t = b.where(v);
+  ASSERT_EQ(t.size(), 3u);
+  const double shipped = t[1] + t[2];
+  EXPECT_GT(shipped, 0.0);      // it really does ask to export...
+  EXPECT_LT(shipped, 1e-8);     // ...a negligible sliver, every tick
+  // And the mirror image: exactly at the mean it stays quiet.
+  EXPECT_FALSE(b.when(make_view(0, {100, 100, 100})));
+}
+
 // ---------------------------------------------------------------------------
 // GreedySpillBalancer (Listing 1)
 // ---------------------------------------------------------------------------
@@ -117,6 +135,35 @@ TEST(GreedySpillEven, BisectTargets) {
   EXPECT_EQ(GreedySpillEvenBalancer::bisect_target(0, 2), 1);   // w1=1 -> t=2
 }
 
+TEST(GreedySpillEven, BisectTargetRank0AllSizes) {
+  // From rank 0 the bisection lands on rank n/2 for even n and is
+  // undefined (fractional 1-based index) for odd n — including the
+  // degenerate single-MDS cluster.
+  const auto t = [](int n) {
+    return GreedySpillEvenBalancer::bisect_target(0, n);
+  };
+  EXPECT_EQ(t(1), kNoRank);
+  EXPECT_EQ(t(2), 1);
+  EXPECT_EQ(t(3), kNoRank);
+  EXPECT_EQ(t(4), 2);
+  EXPECT_EQ(t(5), kNoRank);
+  EXPECT_EQ(t(6), 3);
+  EXPECT_EQ(t(7), kNoRank);
+  EXPECT_EQ(t(8), 4);
+  EXPECT_EQ(t(9), kNoRank);
+  EXPECT_EQ(t(10), 5);
+}
+
+TEST(GreedySpillEven, BisectTargetMidRanks) {
+  // Spot checks off rank 0: t1 = (n - w1 + 1)/2 + w1 when integral.
+  EXPECT_EQ(GreedySpillEvenBalancer::bisect_target(2, 8), 5);   // t1 = 6
+  EXPECT_EQ(GreedySpillEvenBalancer::bisect_target(4, 8), 6);   // t1 = 7
+  EXPECT_EQ(GreedySpillEvenBalancer::bisect_target(6, 8), 7);   // t1 = 8
+  EXPECT_EQ(GreedySpillEvenBalancer::bisect_target(7, 8), kNoRank);  // 8.5
+  EXPECT_EQ(GreedySpillEvenBalancer::bisect_target(4, 10), 7);  // t1 = 8
+  EXPECT_EQ(GreedySpillEvenBalancer::bisect_target(5, 10), kNoRank);  // 8.5
+}
+
 TEST(GreedySpillEven, ProducesEvenSplitIn3Rounds) {
   // Round 1: only mds0 loaded -> ships half to mds2.
   GreedySpillEvenBalancer b0;
@@ -141,12 +188,15 @@ TEST(GreedySpillEven, ProducesEvenSplitIn3Rounds) {
 // ---------------------------------------------------------------------------
 
 TEST(FillSpill, HoldsForConsecutiveOverloadedTicks) {
-  FillSpillBalancer b;
+  FillSpillBalancer b;  // hold_iterations = 2
   const auto hot = make_view(0, {100, 0}, {80, 5});
-  // wait starts 0 -> fires immediately, then re-arms the hold.
-  EXPECT_TRUE(b.when(hot));
-  EXPECT_FALSE(b.when(hot));  // wait=2 -> 1
-  EXPECT_FALSE(b.when(hot));  // wait=1 -> 0
+  // The hold starts armed: spilling begins only on the third consecutive
+  // overloaded tick, then the hold re-arms.
+  EXPECT_FALSE(b.when(hot));  // wait 2 -> 1
+  EXPECT_FALSE(b.when(hot));  // wait 1 -> 0
+  EXPECT_TRUE(b.when(hot));   // fires, re-arms
+  EXPECT_FALSE(b.when(hot));
+  EXPECT_FALSE(b.when(hot));
   EXPECT_TRUE(b.when(hot));   // fires again
 }
 
@@ -154,7 +204,6 @@ TEST(FillSpill, CoolCpuResetsHold) {
   FillSpillBalancer b;
   const auto hot = make_view(0, {100, 0}, {80, 5});
   const auto cool = make_view(0, {100, 0}, {20, 5});
-  EXPECT_TRUE(b.when(hot));
   EXPECT_FALSE(b.when(hot));
   EXPECT_FALSE(b.when(cool));  // resets wait
   EXPECT_FALSE(b.when(hot));
@@ -162,11 +211,38 @@ TEST(FillSpill, CoolCpuResetsHold) {
   EXPECT_TRUE(b.when(hot));
 }
 
+// Regression: the hold counter used to start disarmed, so the *first*
+// overloaded tick spilled immediately — a single hot sample after any
+// cool spell triggered a migration, defeating the "consecutive
+// confirmations" the policy exists to require.
+TEST(FillSpill, InterruptedStreakMustRearmFully) {
+  FillSpillBalancer b;
+  const auto hot = make_view(0, {100, 0}, {80, 5});
+  const auto cool = make_view(0, {100, 0}, {20, 5});
+  EXPECT_FALSE(b.when(hot));
+  EXPECT_FALSE(b.when(hot));   // one tick away from firing
+  EXPECT_FALSE(b.when(cool));  // streak broken
+  EXPECT_FALSE(b.when(hot));   // must NOT fire: the hold re-armed in full
+  EXPECT_FALSE(b.when(hot));
+  EXPECT_TRUE(b.when(hot));
+}
+
+TEST(FillSpill, FreshBalancerStartsArmed) {
+  FillSpillBalancer b;
+  EXPECT_EQ(b.state_wait(), FillSpillBalancer::Options{}.hold_iterations);
+  FillSpillBalancer::Options opt;
+  opt.hold_iterations = 5;
+  FillSpillBalancer c(opt);
+  EXPECT_EQ(c.state_wait(), 5);
+}
+
 TEST(FillSpill, SpillsConfiguredFraction) {
   FillSpillBalancer::Options opt;
   opt.spill_fraction = 0.10;
   FillSpillBalancer b(opt);
   const auto v = make_view(0, {200, 0}, {80, 5});
+  ASSERT_FALSE(b.when(v));
+  ASSERT_FALSE(b.when(v));
   ASSERT_TRUE(b.when(v));
   EXPECT_DOUBLE_EQ(b.where(v)[1], 20.0);
 }
@@ -175,7 +251,9 @@ TEST(FillSpill, ThresholdRespected) {
   FillSpillBalancer::Options opt;
   opt.cpu_threshold = 90.0;
   FillSpillBalancer b(opt);
-  EXPECT_FALSE(b.when(make_view(0, {100, 0}, {85, 5})));
+  // Never fires below the threshold, even past the hold window.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_FALSE(b.when(make_view(0, {100, 0}, {85, 5})));
 }
 
 // ---------------------------------------------------------------------------
@@ -241,6 +319,35 @@ TEST(Degenerate, EmptyViewNeverMigrates) {
   HashBalancer hash;
   EXPECT_FALSE(hash.when(empty));
   EXPECT_TRUE(hash.where(empty).empty());
+}
+
+// Regression: a view can carry a whoami outside [0, size()) — e.g. the
+// local rank's own heartbeat was judged laggy and filtered out, or the
+// cluster shrank under the balancer. Indexing view.loads[whoami] was UB;
+// every builtin must now treat such a view as "nothing to do".
+TEST(Degenerate, OutOfRangeSelfRankIsIgnored) {
+  for (const int whoami : {-1, 2, 7}) {
+    auto v = make_view(0, {100, 0}, {80, 5});
+    v.whoami = whoami;
+    OriginalBalancer orig;
+    EXPECT_FALSE(orig.when(v)) << "whoami=" << whoami;
+    for (const double t : orig.where(v)) EXPECT_DOUBLE_EQ(t, 0.0);
+    GreedySpillBalancer greedy;
+    EXPECT_FALSE(greedy.when(v)) << "whoami=" << whoami;
+    for (const double t : greedy.where(v)) EXPECT_DOUBLE_EQ(t, 0.0);
+    GreedySpillEvenBalancer even;
+    EXPECT_FALSE(even.when(v)) << "whoami=" << whoami;
+    for (const double t : even.where(v)) EXPECT_DOUBLE_EQ(t, 0.0);
+    FillSpillBalancer fill;
+    EXPECT_FALSE(fill.when(v)) << "whoami=" << whoami;
+    for (const double t : fill.where(v)) EXPECT_DOUBLE_EQ(t, 0.0);
+    AdaptableBalancer adapt;
+    EXPECT_FALSE(adapt.when(v)) << "whoami=" << whoami;
+    for (const double t : adapt.where(v)) EXPECT_DOUBLE_EQ(t, 0.0);
+    HashBalancer hash;
+    EXPECT_FALSE(hash.when(v)) << "whoami=" << whoami;
+    for (const double t : hash.where(v)) EXPECT_DOUBLE_EQ(t, 0.0);
+  }
 }
 
 TEST(Degenerate, AllIdleClusterStaysQuiet) {

@@ -65,8 +65,26 @@ TEST(DecayCounter, ScaleSplitsHeatProportionally) {
   const DecayRate rate(5.0);
   DecayCounter c;
   c.hit(kSec, rate, 10.0);
-  c.scale(0.25);
+  c.scale(kSec, rate, 0.25);
   EXPECT_DOUBLE_EQ(c.get(kSec, rate), 2.5);
+}
+
+// Regression: scale() must apply pending decay *before* multiplying. The
+// old scale(f) multiplied the stale raw value, so a counter that had not
+// been observed recently handed out a share of heat that should already
+// have decayed away; the raw value after the call exposes the difference
+// (decay commutes with the multiply, so get() alone cannot tell them
+// apart until the next decay window).
+TEST(DecayCounter, ScaleDecaysToScaleTimeFirst) {
+  const DecayRate rate(5.0);
+  DecayCounter c;
+  c.hit(0, rate, 8.0);
+  // One half-life later the observable value is 4.0; scaling by 0.5 must
+  // land on 2.0 — not 8.0 * 0.5 = 4.0 stored with a stale timestamp.
+  c.scale(5 * kSec, rate, 0.5);
+  EXPECT_NEAR(c.raw(), 2.0, 1e-9);
+  EXPECT_NEAR(c.get(5 * kSec, rate), 2.0, 1e-9);
+  EXPECT_NEAR(c.get(10 * kSec, rate), 1.0, 1e-9);
 }
 
 TEST(DecayCounter, MergeAddsValues) {

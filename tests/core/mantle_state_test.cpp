@@ -113,12 +113,13 @@ TEST(MantleState, FillAndSpillRunsDurable) {
   opt.state_oid = "fs-state";
   MantleBalancer b(scripts::fill_and_spill(48.0, 0.25), opt);
   const auto v = hot_view();
-  EXPECT_TRUE(b.when(v));    // fires, arms the hold
-  EXPECT_FALSE(b.when(v));   // holds
+  EXPECT_FALSE(b.when(v));   // first hot tick arms the hold
+  EXPECT_FALSE(b.when(v));   // second hot tick still holds
   // The hold counter is in the store now.
   std::string raw;
   ASSERT_TRUE(store.read("fs-state", &raw).ok);
   EXPECT_EQ(raw[0], 'n');
+  EXPECT_TRUE(b.when(v));    // third consecutive hot tick fires
   EXPECT_EQ(b.hook_errors(), 0u) << b.last_error();
 }
 

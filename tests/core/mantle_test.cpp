@@ -123,9 +123,11 @@ TEST(Mantle, StateSurvivesAcrossTicks) {
   // Fill & Spill's WRstate/RDstate hold counter (Listing 3).
   MantleBalancer b(scripts::fill_and_spill(48.0, 0.25));
   const auto hot = make_view(0, {100, 0}, {80, 5});
-  EXPECT_TRUE(b.when(hot));    // wait was 0: fire and re-arm
-  EXPECT_FALSE(b.when(hot));   // wait 2 -> 1
-  EXPECT_FALSE(b.when(hot));   // wait 1 -> 0
+  EXPECT_FALSE(b.when(hot));   // streak 0 -> 1: first hot tick arms
+  EXPECT_FALSE(b.when(hot));   // streak 1 -> 2
+  EXPECT_TRUE(b.when(hot));    // third consecutive hot tick fires
+  EXPECT_FALSE(b.when(hot));   // streak reset: holds again
+  EXPECT_FALSE(b.when(hot));
   EXPECT_TRUE(b.when(hot));    // fires again
   const auto t = b.where(hot);
   EXPECT_DOUBLE_EQ(t[1], 25.0);
