@@ -203,6 +203,7 @@ void MdsNode::process_front() {
       rep.served_by = rank_;
       rep.dir = r.dir;
       rep.hops = r.hops;
+      rep.span = r.span;
       rep.issued_at = r.issued_at;
       rep.finished_at = cluster_.engine().now();
       cluster_.deliver_reply(rep);
@@ -321,6 +322,7 @@ void MdsNode::complete(Request r, Time /*svc*/) {
   rep.served_by = rank_;
   rep.dir = r.dir;
   rep.hops = r.hops;
+  rep.span = r.span;
   rep.issued_at = r.issued_at;
   rep.finished_at = now;
 
@@ -515,6 +517,9 @@ void MdsNode::tick() {
       view.total_load += view.loads[i];
     }
 
+    // The whole tick's decision chain (when -> where -> howmuch) shares
+    // one causal span; migrations it orders are child spans of it.
+    const obs::SpanId tick_span = cluster_.trace_.next_span();
     const bool migrate =
         view.total_load >= cfg.bal_min_load && balancer_->when(view);
     (migrate ? cluster_.om_.when_true : cluster_.om_.when_false).inc();
@@ -523,7 +528,8 @@ void MdsNode::tick() {
         now, obs::EventKind::WhenDecision, rank_, -1, {},
         {{"go", migrate ? 1.0 : 0.0},
          {"my_load", me_idx < view.loads.size() ? view.loads[me_idx] : 0.0},
-         {"total_load", view.total_load}});
+         {"total_load", view.total_load}},
+        tick_span);
     if (migrate) {
       std::vector<double> targets = balancer_->where(view);
       targets.resize(hb_.size(), 0.0);
@@ -532,6 +538,20 @@ void MdsNode::tick() {
         ev.at = now;
         ev.kind = obs::EventKind::WhereDecision;
         ev.rank = rank_;
+        ev.span = tick_span;
+        // Always emit the totals, even when every target was sanitized
+        // away, so analyzers can tell "chose to send nothing" (fields
+        // present, zero) from a malformed event.
+        double surviving = 0.0;
+        double load_total = 0.0;
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+          if (targets[t] > 0.0 && static_cast<MdsRank>(t) != rank_) {
+            surviving += 1.0;
+            load_total += targets[t];
+          }
+        }
+        ev.fields.emplace_back("targets_total", surviving);
+        ev.fields.emplace_back("shipped_total", load_total);
         for (std::size_t t = 0; t < targets.size(); ++t)
           if (targets[t] > 0.0 && static_cast<MdsRank>(t) != rank_)
             ev.fields.emplace_back("to" + std::to_string(t), targets[t]);
@@ -555,9 +575,11 @@ void MdsNode::tick() {
             {{"goal", goal},
              {"pool", static_cast<double>(pool.size())},
              {"picked", static_cast<double>(picks.size())},
-             {"shipped", selection_load(pool, picks)}});
+             {"shipped", selection_load(pool, picks)}},
+            tick_span);
         for (const std::size_t idx : picks)
-          cluster_.export_subtree(pool[idx].frag, static_cast<MdsRank>(t));
+          cluster_.export_subtree(pool[idx].frag, static_cast<MdsRank>(t),
+                                  tick_span);
       }
     }
   }
@@ -573,10 +595,12 @@ void MdsNode::tick() {
 // ===========================================================================
 
 MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
-    : engine_(engine), cfg_(cfg), rng_(cfg.seed), om_(metrics_) {
+    : engine_(engine), cfg_(cfg), rng_(cfg.seed), trace_(cfg.trace_capacity),
+      om_(metrics_) {
   sessions_.resize(static_cast<std::size_t>(cfg_.num_mds));
   life_.resize(static_cast<std::size_t>(cfg_.num_mds), NodeLife::Up);
   crash_epoch_.resize(static_cast<std::size_t>(cfg_.num_mds), 0);
+  recovery_span_.resize(static_cast<std::size_t>(cfg_.num_mds), obs::kNoSpan);
   for (int r = 0; r < cfg_.num_mds; ++r) {
     nodes_.push_back(std::make_unique<MdsNode>(*this, r, rng_.fork()));
     journals_.push_back(std::make_unique<store::Journal>(
@@ -813,7 +837,8 @@ std::vector<ExportCandidate> MdsCluster::gather_candidates(MdsRank rank,
   return out;
 }
 
-bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to) {
+bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to,
+                                obs::SpanId parent_span) {
   if (to < 0 || to >= num_mds()) return false;
   const MdsRank from = auth_of(frag);
   if (from == kNoRank || from == to) return false;
@@ -830,6 +855,8 @@ bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to) {
   mig.rec.to = to;
   mig.rec.frag = frag;
   mig.rec.entries = entries;
+  mig.span = trace_.next_span();
+  const obs::SpanId span = mig.span;
   const std::size_t id = next_migration_id_++;
   active_migrations_[id] = std::move(mig);
 
@@ -849,7 +876,8 @@ bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to) {
       cfg_.mig_base + cfg_.mig_per_entry * static_cast<Time>(entries);
   trace_.event(now, obs::EventKind::ExportStart, from, to, frag.str(),
                {{"entries", static_cast<double>(entries)},
-                {"eta_ms", static_cast<double>(duration) / kMsec}});
+                {"eta_ms", static_cast<double>(duration) / kMsec}},
+               span, parent_span);
   engine_.schedule_after(duration, [this, id]() { finish_migration(id); });
   MANTLE_LOG_INFO("migration start %s: mds%d -> mds%d (%zu entries)",
                   frag.str().c_str(), from, to, entries);
@@ -918,7 +946,8 @@ void MdsCluster::finish_migration(std::size_t idx) {
       now, obs::EventKind::ExportCommit, from, to, mig.rec.frag.str(),
       {{"entries", static_cast<double>(mig.rec.entries)},
        {"sessions_flushed", static_cast<double>(mig.rec.sessions_flushed)},
-       {"deferred", static_cast<double>(mig.deferred.size())}});
+       {"deferred", static_cast<double>(mig.deferred.size())}},
+      mig.span);
   migrations_.push_back(mig.rec);
 
   // Re-inject requests that arrived mid-migration at the new authority.
@@ -961,9 +990,12 @@ Time MdsCluster::replay_duration(MdsRank rank) const {
 }
 
 void MdsCluster::log_recovery(RecoveryEvent::Kind kind, MdsRank rank,
-                              MdsRank peer, std::uint64_t detail) {
+                              MdsRank peer, std::uint64_t detail,
+                              obs::SpanId span) {
   const Time now = engine_.now();
   recovery_log_.push_back({now, kind, rank, peer, detail});
+  if (span == obs::kNoSpan && rank >= 0 && rank < num_mds())
+    span = recovery_span_[static_cast<std::size_t>(rank)];
 
   // Mirror the recovery timeline into the trace sink (with counters), so
   // crash/takeover/replay land on the same timeline as the balancing and
@@ -996,7 +1028,7 @@ void MdsCluster::log_recovery(RecoveryEvent::Kind kind, MdsRank rank,
       break;
   }
   trace_.event(now, ek, rank, peer, recovery_kind_name(kind),
-               {{"detail", static_cast<double>(detail)}});
+               {{"detail", static_cast<double>(detail)}}, span);
 }
 
 void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
@@ -1006,7 +1038,7 @@ void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
   } else {
     om_.dead_letter_parked.inc();
     trace_.event(engine_.now(), obs::EventKind::DeadLetterParked, auth, -1,
-                 frag.str(), {{"req", static_cast<double>(r.id)}});
+                 frag.str(), {{"req", static_cast<double>(r.id)}}, r.span);
     dead_letter_.emplace_back(frag, std::move(r));
   }
 }
@@ -1014,12 +1046,18 @@ void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
 void MdsCluster::flush_dead_letters() {
   std::vector<std::pair<DirFragId, Request>> pending;
   pending.swap(dead_letter_);
-  if (!pending.empty()) {
-    om_.dead_letter_flushed.inc(pending.size());
-    trace_.event(engine_.now(), obs::EventKind::DeadLetterFlushed, -1, -1, {},
-                 {{"count", static_cast<double>(pending.size())}});
+  if (pending.empty()) return;
+  om_.dead_letter_flushed.inc(pending.size());
+  // One flush event per request, carrying the op's span: parked and
+  // flushed events pair 1:1, so parked - flushed at any cut of the
+  // timeline is exactly the number of requests still parked (the
+  // dead-letter-leak detector counts on this).
+  for (auto& [frag, req] : pending) {
+    trace_.event(engine_.now(), obs::EventKind::DeadLetterFlushed,
+                 auth_of(frag), -1, frag.str(),
+                 {{"req", static_cast<double>(req.id)}}, req.span);
+    route_or_park(frag, std::move(req));
   }
-  for (auto& [frag, req] : pending) route_or_park(frag, std::move(req));
 }
 
 void MdsCluster::abort_migrations_of(MdsRank dead) {
@@ -1043,7 +1081,7 @@ void MdsCluster::abort_migrations_of(MdsRank dead) {
     }
     mig.rec.finished = now;
     log_recovery(RecoveryEvent::Kind::MigrationAborted, dead, survivor,
-                 mig.deferred.size());
+                 mig.deferred.size(), mig.span);
     MANTLE_LOG_INFO("migration abort %s: mds%d -> mds%d (mds%d died, "
                     "%zu deferred re-injected)",
                     mig.rec.frag.str().c_str(), mig.rec.from, mig.rec.to, dead,
@@ -1068,6 +1106,9 @@ bool MdsCluster::crash_mds(MdsRank rank) {
 
   const std::size_t lost = node(rank).reset_for_crash(now);
   requests_dropped_ += lost;
+  // One recovery span per crash arc: crash, takeover/restart and replay
+  // events for this rank all share it (log_recovery falls back to it).
+  recovery_span_[idx] = trace_.next_span();
   log_recovery(RecoveryEvent::Kind::Crash, rank, kNoRank, lost);
   MANTLE_LOG_INFO("mds%d crashed (%zu queued requests lost)", rank, lost);
 

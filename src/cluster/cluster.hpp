@@ -105,6 +105,12 @@ struct ClusterConfig {
   /// replaying its journal. When false the subtrees stay with the dead
   /// rank and only become serviceable once it restarts and replays.
   bool takeover_on_crash = true;
+
+  // -- observability -----------------------------------------------------------
+  /// Bound on the cluster's trace sink. Overflowing events are counted in
+  /// trace().dropped_events() instead of stored; the cap is part of the
+  /// config, so truncated timelines are still deterministic.
+  std::size_t trace_capacity = std::size_t{1} << 20;
 };
 
 enum class OpType { Create, Mkdir, Getattr, Lookup, Readdir, Unlink, Rename };
@@ -123,6 +129,10 @@ struct Request {
   std::string dst_name;
   Time issued_at = 0;
   int hops = 0;  // forwards experienced so far
+  /// Root causal span of the logical client op. Forwards and client
+  /// retries reuse it (new request id, same span), so everything one op
+  /// caused — bounces, dead-letter parks, re-injections — shares one id.
+  obs::SpanId span = obs::kNoSpan;
 };
 
 struct Reply {
@@ -136,6 +146,7 @@ struct Reply {
   int hops = 0;
   Time issued_at = 0;
   Time finished_at = 0;
+  obs::SpanId span = obs::kNoSpan;  // echoed from the request
 };
 
 /// A completed or in-flight subtree migration, for logs and tests.
@@ -390,8 +401,11 @@ class MdsCluster {
   std::size_t subtree_entry_count(const DirFragId& root, MdsRank rank) const;
 
   /// Start a two-phase-commit export of `frag` from its current authority
-  /// to `to`. No-op if already owned by `to`, frozen, or invalid.
-  bool export_subtree(const DirFragId& frag, MdsRank to);
+  /// to `to`. No-op if already owned by `to`, frozen, or invalid. The
+  /// migration gets its own causal span; `parent_span` links it to the
+  /// balancer-tick decision that ordered it (kNoSpan for manual exports).
+  bool export_subtree(const DirFragId& frag, MdsRank to,
+                      obs::SpanId parent_span = obs::kNoSpan);
 
   /// Forward a request to another MDS (one network hop).
   void route_to(MdsRank rank, Request r);
@@ -455,6 +469,7 @@ class MdsCluster {
   struct ActiveMigration {
     MigrationRecord rec;
     std::vector<Request> deferred;
+    obs::SpanId span = obs::kNoSpan;  // start/commit/abort share it
   };
 
   enum class NodeLife { Up, Down, Replaying };
@@ -473,8 +488,11 @@ class MdsCluster {
   /// queue if that rank is down (re-injected when it recovers).
   void route_or_park(const DirFragId& frag, Request r);
   Time replay_duration(MdsRank rank) const;
+  /// `span` overrides the trace span of the mirrored trace event (used by
+  /// migration aborts, which belong to the migration's span); kNoSpan
+  /// falls back to the rank's current crash-recovery span.
   void log_recovery(RecoveryEvent::Kind kind, MdsRank rank, MdsRank peer,
-                    std::uint64_t detail);
+                    std::uint64_t detail, obs::SpanId span = obs::kNoSpan);
 
   sim::Engine& engine_;
   ClusterConfig cfg_;
@@ -500,6 +518,9 @@ class MdsCluster {
   // -- fault state -------------------------------------------------------------
   std::vector<NodeLife> life_;
   std::vector<std::uint64_t> crash_epoch_;  // guards stale takeover timers
+  /// Per-rank span of the current crash→takeover→replay episode; the
+  /// whole recovery sequence of one crash shares it.
+  std::vector<obs::SpanId> recovery_span_;
   std::vector<std::pair<DirFragId, Request>> dead_letter_;
   std::vector<RecoveryEvent> recovery_log_;
   std::uint64_t requests_dropped_ = 0;

@@ -76,6 +76,7 @@ const std::vector<KeyBinding>& bindings() {
       MANTLE_TIME_KEY("sim_mig_per_entry_us", mig_per_entry),
       MANTLE_TIME_KEY("sim_session_flush_stall_us", session_flush_stall),
       MANTLE_DOUBLE_KEY("sim_mem_capacity_entries", mem_capacity_entries),
+      MANTLE_SIZE_KEY("sim_trace_capacity", trace_capacity),
   };
   return b;
 }

@@ -11,7 +11,8 @@ namespace {
 
 /// Scratch instances handed out on name/kind collisions so misuse never
 /// dereferences a null handle. Their values are shared process-wide and
-/// meaningless; the `obs_registry_collisions` counter is the real signal.
+/// meaningless; the `obs_registry_collisions_total` counter is the real
+/// signal.
 Counter& scratch_counter() {
   static Counter c;
   return c;
@@ -53,15 +54,23 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 void MetricsRegistry::note_collision_locked() {
-  auto it = entries_.find("obs_registry_collisions");
+  auto it = entries_.find(kCollisionCounterName);
   if (it == entries_.end()) {
     Entry e;
     e.kind = Kind::kCounter;
     e.help = "metric registered twice with conflicting kinds";
     e.counter = std::make_unique<Counter>();
-    it = entries_.emplace("obs_registry_collisions", std::move(e)).first;
+    it = entries_.emplace(kCollisionCounterName, std::move(e)).first;
   }
   it->second.counter->inc();
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, e] : entries_)
+    if (e.kind == Kind::kCounter) out.push_back(name);
+  return out;
 }
 
 std::string format_metric_value(double x) {

@@ -87,6 +87,11 @@ std::vector<double> entries();
 std::vector<double> lua_steps();
 }  // namespace buckets
 
+/// Every registered counter must carry the Prometheus `_total` suffix;
+/// the obs name-lint test enforces this over a fully instrumented run.
+inline constexpr const char* kCollisionCounterName =
+    "obs_registry_collisions_total";
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -95,13 +100,17 @@ class MetricsRegistry {
 
   /// Get-or-create by name. Returned references live as long as the
   /// registry. If the name exists with a different kind, a warning
-  /// counter (`obs_registry_collisions`) is bumped and a process-wide
-  /// scratch instance is returned so callers never crash on a naming
-  /// bug — the collision is visible in the snapshot instead.
+  /// counter (`obs_registry_collisions_total`) is bumped and a
+  /// process-wide scratch instance is returned so callers never crash on
+  /// a naming bug — the collision is visible in the snapshot instead.
   Counter& counter(const std::string& name, const std::string& help = "");
   Gauge& gauge(const std::string& name, const std::string& help = "");
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        const std::string& help = "");
+
+  /// Names of all registered counters (name order) — the lint surface for
+  /// the `_total` suffix convention.
+  std::vector<std::string> counter_names() const;
 
   /// Prometheus text exposition format (HELP/TYPE + samples), metrics in
   /// name order.

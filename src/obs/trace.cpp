@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -71,16 +72,29 @@ void TraceSink::record(TraceEvent ev) {
 
 void TraceSink::event(
     Time at, EventKind kind, int rank, int peer, std::string detail,
-    std::initializer_list<std::pair<const char*, double>> fields) {
+    std::initializer_list<std::pair<const char*, double>> fields, SpanId span,
+    SpanId parent) {
   TraceEvent ev;
   ev.at = at;
   ev.kind = kind;
   ev.rank = rank;
   ev.peer = peer;
+  ev.span = span;
+  ev.parent = parent;
   ev.detail = std::move(detail);
   ev.fields.reserve(fields.size());
   for (const auto& [k, v] : fields) ev.fields.emplace_back(k, v);
   record(std::move(ev));
+}
+
+SpanId TraceSink::next_span() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<SpanId>(++next_span_);
+}
+
+std::uint64_t TraceSink::spans_allocated() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_span_;
 }
 
 std::size_t TraceSink::size() const {
@@ -102,6 +116,7 @@ void TraceSink::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   events_.clear();
   dropped_ = 0;
+  next_span_ = 0;
 }
 
 std::string TraceSink::to_json() const {
@@ -126,6 +141,14 @@ std::string TraceSink::to_json() const {
       std::snprintf(buf, sizeof(buf), ",\"peer\":%d", ev.peer);
       out += buf;
     }
+    if (ev.span >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"span\":%" PRId64, ev.span);
+      out += buf;
+    }
+    if (ev.parent >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"parent\":%" PRId64, ev.parent);
+      out += buf;
+    }
     if (!ev.detail.empty())
       out += ",\"detail\":\"" + json_escape(ev.detail) + "\"";
     if (!ev.fields.empty()) {
@@ -141,6 +164,74 @@ std::string TraceSink::to_json() const {
     out += "}";
   }
   out += "]";
+  return out;
+}
+
+std::string TraceSink::to_perfetto() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  char buf[96];
+  // Ranks become threads of one "mantle" process; rank -1 (cluster-wide
+  // events) maps to tid 0, rank r to tid r+1.
+  int max_rank = -1;
+  for (const TraceEvent& ev : events_)
+    max_rank = std::max({max_rank, ev.rank, ev.peer});
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out +=
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":0,"
+      "\"args\":{\"name\":\"mantle\"}}";
+  out +=
+      ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"cluster\"}}";
+  for (int r = 0; r <= max_rank; ++r) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"name\":\"mds%d\"}}",
+                  r + 1, r);
+    out += buf;
+  }
+
+  const auto append_common = [&](const TraceEvent& ev) {
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%" PRIu64 ",\"pid\":0,\"tid\":%d",
+                  ev.at, ev.rank + 1);
+    out += buf;
+    out += ",\"args\":{";
+    bool first = true;
+    const auto arg = [&](const std::string& k, const std::string& v) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + k + "\":" + v;
+    };
+    if (ev.peer >= 0) arg("peer", std::to_string(ev.peer));
+    if (ev.span >= 0) arg("span", std::to_string(ev.span));
+    if (ev.parent >= 0) arg("parent", std::to_string(ev.parent));
+    if (!ev.detail.empty()) arg("detail", "\"" + json_escape(ev.detail) + "\"");
+    for (const auto& [k, v] : ev.fields)
+      arg(json_escape(k), format_metric_value(v));
+    out += "}}";
+  };
+
+  for (const TraceEvent& ev : events_) {
+    // Migrations with a span additionally render as async begin/end pairs
+    // (Perfetto pairs them on (cat, id)), so each 2PC export shows as a
+    // bar spanning start -> commit/abort on the exporter's track.
+    const bool begins = ev.kind == EventKind::ExportStart;
+    const bool ends = ev.kind == EventKind::ExportCommit ||
+                      ev.kind == EventKind::ExportAbort;
+    if ((begins || ends) && ev.span >= 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",{\"ph\":\"%s\",\"cat\":\"migration\",\"id\":%" PRId64
+                    ",\"name\":\"migration\"",
+                    begins ? "b" : "e", ev.span);
+      out += buf;
+      append_common(ev);
+    }
+    out += ",{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"mantle\",\"name\":\"";
+    out += event_kind_name(ev.kind);
+    out += "\"";
+    append_common(ev);
+  }
+  out += "]}";
   return out;
 }
 

@@ -19,6 +19,14 @@
 /// injections. Because timestamps come from the discrete-event clock and
 /// payloads are appended in dispatch order, two identical seeded runs
 /// (faults included) serialize to byte-identical JSON.
+///
+/// Events are *causal*: every client op, 2PC migration, balancer tick and
+/// crash-recovery episode is assigned a monotonic span id (allocated from
+/// this sink, so two identical runs number spans identically), and events
+/// belonging to the same episode carry that id. `parent` links a span to
+/// the span that caused it (a migration to the balancer tick that decided
+/// it). to_perfetto() renders the same timeline in Chrome-trace JSON so a
+/// dump opens in ui.perfetto.dev as one track per MDS rank.
 
 namespace mantle::obs {
 
@@ -49,16 +57,24 @@ enum class EventKind : int {
 
 const char* event_kind_name(EventKind kind);
 
+/// Span ids are positive; kNoSpan marks an event outside any span.
+using SpanId = std::int64_t;
+inline constexpr SpanId kNoSpan = -1;
+
 /// One timeline entry. `rank` is the subject MDS, `peer` the other end
 /// (importer, heartbeat receiver, takeover survivor, ...); -1 = n/a.
 /// `detail` is a short deterministic string (dirfrag id, fault kind);
 /// `fields` carries the numeric inputs/outputs of the event in
-/// append order.
+/// append order. `span` groups events of one causal episode (a client
+/// op, a 2PC migration, a balancer tick, a crash-recovery sequence);
+/// `parent` is the span that caused this one, if any.
 struct TraceEvent {
   Time at = 0;
   EventKind kind = EventKind::HeartbeatSent;
   int rank = -1;
   int peer = -1;
+  SpanId span = kNoSpan;
+  SpanId parent = kNoSpan;
   std::string detail;
   std::vector<std::pair<std::string, double>> fields;
 };
@@ -76,7 +92,14 @@ class TraceSink {
   /// Convenience builder for call sites.
   void event(Time at, EventKind kind, int rank = -1, int peer = -1,
              std::string detail = {},
-             std::initializer_list<std::pair<const char*, double>> fields = {});
+             std::initializer_list<std::pair<const char*, double>> fields = {},
+             SpanId span = kNoSpan, SpanId parent = kNoSpan);
+
+  /// Allocate the next causal span id. Allocation order follows event
+  /// dispatch order, so identical seeded runs number spans identically.
+  SpanId next_span();
+  /// Spans allocated so far (equals the largest id handed out).
+  std::uint64_t spans_allocated() const;
 
   std::size_t size() const;
   std::uint64_t dropped_events() const;
@@ -85,6 +108,12 @@ class TraceSink {
   /// The whole timeline as one JSON array of event objects.
   std::string to_json() const;
 
+  /// The timeline in Chrome-trace/Perfetto JSON: one track (tid) per MDS
+  /// rank under a single "mantle" process, migrations as async
+  /// begin/end pairs keyed by span id, everything else as instants.
+  /// Open the dump directly in ui.perfetto.dev or chrome://tracing.
+  std::string to_perfetto() const;
+
   void clear();
 
  private:
@@ -92,6 +121,7 @@ class TraceSink {
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
+  std::uint64_t next_span_ = 0;
 };
 
 }  // namespace mantle::obs

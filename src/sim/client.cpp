@@ -56,6 +56,9 @@ void Client::issue_next() {
   r.op = op->op;
   r.dir = res.ino;
   r.name = op->name;
+  // Root causal span for the op: forwards carry the same Request, and
+  // retries copy pending_, so the span survives both under fresh req ids.
+  r.span = cluster_.trace().next_span();
   r.issued_at = cluster_.engine().now();
 
   if (op->op == cluster::OpType::Rename) {

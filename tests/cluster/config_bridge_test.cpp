@@ -31,7 +31,8 @@ TEST(ConfigBridge, SimKeys) {
   mantle::Config cfg;
   cfg.inject_args(
       "sim_num_mds=5 sim_seed=99 sim_net_latency_us=250 sim_svc_create_us=300 "
-      "sim_cpu_noise_pct=12.5 sim_session_flush_stall_us=5000");
+      "sim_cpu_noise_pct=12.5 sim_session_flush_stall_us=5000 "
+      "sim_trace_capacity=64");
   const ClusterConfig out = apply_config(ClusterConfig{}, cfg);
   EXPECT_EQ(out.num_mds, 5);
   EXPECT_EQ(out.seed, 99u);
@@ -39,6 +40,7 @@ TEST(ConfigBridge, SimKeys) {
   EXPECT_EQ(out.svc_create, 300u);
   EXPECT_DOUBLE_EQ(out.cpu_noise_pct, 12.5);
   EXPECT_EQ(out.session_flush_stall, 5000u);
+  EXPECT_EQ(out.trace_capacity, 64u);
 }
 
 TEST(ConfigBridge, FractionalBalInterval) {

@@ -2,17 +2,20 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "balancers/builtin.hpp"
 #include "fault/fault.hpp"
+#include "obs/analyze.hpp"
 #include "sim/scenario.hpp"
 #include "workloads/create_heavy.hpp"
 
 /// The observability layer's reproducibility contract: timestamps come
-/// from the simulated clock and exporters use fixed formatting, so two
-/// runs with identical (seed, config) — including one with fault
-/// injection — must serialize to byte-identical metrics snapshots and
-/// event timelines.
+/// from the simulated clock, span ids are allocated in dispatch order
+/// and exporters use fixed formatting, so two runs with identical
+/// (seed, config) — including one with fault injection — must serialize
+/// to byte-identical metrics snapshots, event timelines (plain and
+/// Perfetto) and analysis reports.
 
 namespace mantle::obs {
 namespace {
@@ -21,15 +24,34 @@ struct ObsDump {
   std::string prom;
   std::string metrics_json;
   std::string trace_json;
+  std::string perfetto_json;
+  std::string analysis_json;
+  std::vector<std::string> counter_names;
   std::size_t trace_events = 0;
+  std::uint64_t dropped = 0;
 };
 
-ObsDump run_plain(std::uint64_t seed) {
+ObsDump snapshot_of(sim::Scenario& s) {
+  ObsDump d;
+  d.prom = s.cluster().metrics().to_prometheus();
+  d.metrics_json = s.cluster().metrics().to_json();
+  d.trace_json = s.cluster().trace().to_json();
+  d.perfetto_json = s.cluster().trace().to_perfetto();
+  const auto counters = parse_metrics_counters(d.metrics_json);
+  d.analysis_json = analyze(s.cluster().trace(), {}, &counters).to_json();
+  d.counter_names = s.cluster().metrics().counter_names();
+  d.trace_events = s.cluster().trace().size();
+  d.dropped = s.cluster().trace().dropped_events();
+  return d;
+}
+
+ObsDump run_plain(std::uint64_t seed, std::size_t trace_capacity = 0) {
   sim::ScenarioConfig cfg;
   cfg.cluster.num_mds = 3;
   cfg.cluster.seed = seed;
   cfg.cluster.bal_interval = kSec;
   cfg.cluster.split_size = 300;
+  if (trace_capacity > 0) cfg.cluster.trace_capacity = trace_capacity;
   cfg.max_time = 2 * kMinute;
   sim::Scenario s(cfg);
   s.cluster().set_balancer_all(
@@ -38,12 +60,7 @@ ObsDump run_plain(std::uint64_t seed) {
     s.add_client(workloads::make_shared_create_workload(
         c, "/shared", /*files=*/4000, /*think=*/200));
   s.run();
-  ObsDump d;
-  d.prom = s.cluster().metrics().to_prometheus();
-  d.metrics_json = s.cluster().metrics().to_json();
-  d.trace_json = s.cluster().trace().to_json();
-  d.trace_events = s.cluster().trace().size();
-  return d;
+  return snapshot_of(s);
 }
 
 ObsDump run_faulty(std::uint64_t seed) {
@@ -70,12 +87,7 @@ ObsDump run_faulty(std::uint64_t seed) {
   fault::FaultInjector inj(plan);
   inj.arm(s.cluster());
   s.run();
-  ObsDump d;
-  d.prom = s.cluster().metrics().to_prometheus();
-  d.metrics_json = s.cluster().metrics().to_json();
-  d.trace_json = s.cluster().trace().to_json();
-  d.trace_events = s.cluster().trace().size();
-  return d;
+  return snapshot_of(s);
 }
 
 TEST(ObsDeterminism, PlainRunSnapshotsAreByteIdentical) {
@@ -86,9 +98,16 @@ TEST(ObsDeterminism, PlainRunSnapshotsAreByteIdentical) {
   EXPECT_GT(a.trace_events, 0u);
   EXPECT_NE(a.prom.find("mds_heartbeats_sent_total"), std::string::npos);
   EXPECT_NE(a.trace_json.find("\"kind\":\"when\""), std::string::npos);
+  // Spans must actually be threaded, or byte-equality of span-free
+  // timelines would not cover the causal layer.
+  EXPECT_NE(a.trace_json.find("\"span\":"), std::string::npos);
+  EXPECT_NE(a.trace_json.find("\"parent\":"), std::string::npos);
+  EXPECT_NE(a.perfetto_json.find("\"cat\":\"migration\""), std::string::npos);
   EXPECT_EQ(a.prom, b.prom);
   EXPECT_EQ(a.metrics_json, b.metrics_json);
   EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.perfetto_json, b.perfetto_json);
+  EXPECT_EQ(a.analysis_json, b.analysis_json);
 }
 
 TEST(ObsDeterminism, FaultInjectedRunSnapshotsAreByteIdentical) {
@@ -101,6 +120,8 @@ TEST(ObsDeterminism, FaultInjectedRunSnapshotsAreByteIdentical) {
   EXPECT_EQ(a.prom, b.prom);
   EXPECT_EQ(a.metrics_json, b.metrics_json);
   EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.perfetto_json, b.perfetto_json);
+  EXPECT_EQ(a.analysis_json, b.analysis_json);
 }
 
 TEST(ObsDeterminism, DifferentSeedsDiverge) {
@@ -109,6 +130,44 @@ TEST(ObsDeterminism, DifferentSeedsDiverge) {
   const ObsDump a = run_plain(7);
   const ObsDump c = run_plain(8);
   EXPECT_NE(a.trace_json, c.trace_json);
+  EXPECT_NE(a.perfetto_json, c.perfetto_json);
+}
+
+TEST(ObsDeterminism, TruncatedTimelinesAreByteIdentical) {
+  // Overflow accounting: with a tiny injected bound the sink drops the
+  // tail deterministically — both runs drop the same count and the
+  // truncated timeline still serializes byte-for-byte.
+  const ObsDump a = run_plain(7, /*trace_capacity=*/32);
+  const ObsDump b = run_plain(7, /*trace_capacity=*/32);
+  EXPECT_EQ(a.trace_events, 32u);
+  EXPECT_GT(a.dropped, 0u);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.perfetto_json, b.perfetto_json);
+  EXPECT_EQ(a.analysis_json, b.analysis_json);
+  // The truncated timeline is a strict prefix of the unbounded one.
+  const ObsDump full = run_plain(7);
+  EXPECT_EQ(full.dropped, 0u);
+  EXPECT_GT(full.trace_events, a.trace_events);
+  EXPECT_EQ(full.trace_json.compare(1, a.trace_json.size() - 2,
+                                    a.trace_json, 1,
+                                    a.trace_json.size() - 2),
+            0)
+      << "bounded timeline is not a prefix of the unbounded one";
+}
+
+TEST(ObsLint, EveryRegisteredCounterEndsInTotal) {
+  // Prometheus naming convention, enforced over a fully instrumented
+  // run: the faulty scenario touches request, heartbeat, balancer,
+  // migration, dirfrag, dead-letter, recovery and fault counters.
+  const ObsDump d = run_faulty(11);
+  ASSERT_GT(d.counter_names.size(), 10u);
+  constexpr const char* kSuffix = "_total";
+  for (const std::string& name : d.counter_names) {
+    ASSERT_GE(name.size(), std::string(kSuffix).size());
+    EXPECT_EQ(name.substr(name.size() - std::string(kSuffix).size()), kSuffix)
+        << "counter '" << name << "' violates the _total suffix convention";
+  }
 }
 
 }  // namespace

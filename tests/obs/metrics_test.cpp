@@ -80,9 +80,21 @@ TEST(Registry, KindCollisionYieldsScratchAndIsCounted) {
   // alias the counter; the collision is surfaced as its own metric.
   Gauge& g = reg.gauge("thing");
   g.set(7.0);
-  EXPECT_EQ(reg.counter("obs_registry_collisions").value(), 1u);
+  EXPECT_EQ(reg.counter(kCollisionCounterName).value(), 1u);
   const std::string prom = reg.to_prometheus();
-  EXPECT_NE(prom.find("obs_registry_collisions 1"), std::string::npos);
+  EXPECT_NE(prom.find("obs_registry_collisions_total 1"), std::string::npos);
+}
+
+TEST(Registry, CounterNamesListsCountersInNameOrder) {
+  MetricsRegistry reg;
+  reg.counter("b_total");
+  reg.gauge("a_gauge");
+  reg.counter("a_total");
+  reg.histogram("h_ms", {1.0});
+  const std::vector<std::string> names = reg.counter_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a_total");
+  EXPECT_EQ(names[1], "b_total");
 }
 
 TEST(Registry, PrometheusExposition) {

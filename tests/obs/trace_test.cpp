@@ -52,6 +52,49 @@ TEST(Trace, JsonFullEvent) {
             "\"eta_ms\":3.5}}]");
 }
 
+TEST(Trace, JsonCarriesSpanAndParent) {
+  TraceSink sink;
+  const SpanId parent = sink.next_span();
+  const SpanId span = sink.next_span();
+  EXPECT_EQ(parent, 1);
+  EXPECT_EQ(span, 2);
+  EXPECT_EQ(sink.spans_allocated(), 2u);
+  sink.event(9, EventKind::ExportStart, 1, 2, "f", {}, span, parent);
+  EXPECT_EQ(sink.to_json(),
+            "[{\"t_us\":9,\"kind\":\"export-start\",\"rank\":1,\"peer\":2,"
+            "\"span\":2,\"parent\":1,\"detail\":\"f\"}]");
+  sink.clear();
+  // clear() resets the span counter too, so reruns number identically.
+  EXPECT_EQ(sink.spans_allocated(), 0u);
+  EXPECT_EQ(sink.next_span(), 1);
+}
+
+TEST(Trace, PerfettoHasTracksAndMigrationPairs) {
+  TraceSink sink;
+  const SpanId tick = sink.next_span();
+  const SpanId mig = sink.next_span();
+  sink.event(100, EventKind::WhenDecision, 0, -1, "", {{"go", 1.0}}, tick);
+  sink.event(200, EventKind::ExportStart, 0, 1, "f", {{"entries", 3.0}}, mig,
+             tick);
+  sink.event(900, EventKind::ExportCommit, 0, 1, "f", {{"entries", 3.0}},
+             mig);
+  const std::string p = sink.to_perfetto();
+  // Process/thread metadata: one track per rank plus a cluster track.
+  EXPECT_NE(p.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(p.find("{\"name\":\"mantle\"}"), std::string::npos);
+  EXPECT_NE(p.find("{\"name\":\"mds0\"}"), std::string::npos);
+  EXPECT_NE(p.find("{\"name\":\"mds1\"}"), std::string::npos);
+  // The migration renders as an async begin/end pair keyed by its span.
+  EXPECT_NE(p.find("\"ph\":\"b\",\"cat\":\"migration\",\"id\":2"),
+            std::string::npos);
+  EXPECT_NE(p.find("\"ph\":\"e\",\"cat\":\"migration\",\"id\":2"),
+            std::string::npos);
+  // Every event also lands as an instant on its rank's track.
+  EXPECT_NE(p.find("\"name\":\"when\""), std::string::npos);
+  EXPECT_NE(p.find("\"name\":\"export-start\""), std::string::npos);
+  EXPECT_NE(p.find("\"name\":\"export-commit\""), std::string::npos);
+}
+
 TEST(Trace, JsonEscapesDetail) {
   TraceSink sink;
   sink.event(1, EventKind::FaultInjected, -1, -1, "a\"b\\c");

@@ -1,0 +1,260 @@
+/// \file mantle_stat.cpp
+/// `mantle-stat` — trace analytics over observability dumps.
+///
+/// Runs the obs/analyze engine over a directory of `*.trace.json` dumps
+/// (as written by the bench harnesses under MANTLE_OBS_DIR), or over a
+/// scenario simulated inline, and prints the per-run report. Under
+/// --check the exit code is the number of distinct tripped anomaly
+/// detectors, so CI can gate on "no ping-pong, no thrash, no stuck
+/// exports, no dead-letter leaks" with a single invocation.
+///
+///   mantle-stat --dir obs-dumps                # tables for every dump
+///   mantle-stat --dir obs-dumps --check        # CI gate
+///   mantle-stat --dir obs-dumps --json         # one JSON document
+///   mantle-stat --dir obs-dumps --write-reports  # <stem>.analysis.json
+///   mantle-stat --scenario plain --seed 7      # no dumps needed
+///
+/// Usage errors exit 64, missing/empty input 66 — distinct from small
+/// tripped-detector counts (capped at 63).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "balancers/builtin.hpp"
+#include "fault/fault.hpp"
+#include "obs/analyze.hpp"
+#include "sim/scenario.hpp"
+#include "workloads/create_heavy.hpp"
+
+namespace {
+
+constexpr int kExitUsage = 64;    // EX_USAGE
+constexpr int kExitNoInput = 66;  // EX_NOINPUT
+constexpr int kExitCheckCap = 63;
+
+struct Options {
+  std::string dir;
+  std::string scenario;
+  std::uint64_t seed = 7;
+  bool json = false;
+  bool check = false;
+  bool write_reports = false;
+  mantle::obs::AnalyzeConfig cfg;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: mantle-stat [--dir DIR] [--scenario plain|faulty] [--seed N]\n"
+      "                   [--tick-ms N] [--json] [--check] [--write-reports]\n"
+      "\n"
+      "Analyzes Mantle observability dumps (<stem>.trace.json +\n"
+      "<stem>.metrics.json pairs) or an inline scenario. DIR defaults to\n"
+      "$MANTLE_OBS_DIR. With --check the exit code is the number of\n"
+      "distinct tripped anomaly detectors (ping-pong, thrash,\n"
+      "stuck-export, dead-letter-leak).\n");
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+struct Analyzed {
+  std::string stem;  // dump basename without .trace.json
+  mantle::obs::Report report;
+};
+
+/// Inline scenarios, mirroring the reproducibility suite's setups: a
+/// clean 3-MDS run and one with a crash/restart plus heartbeat faults.
+mantle::obs::Report run_inline(const std::string& name, std::uint64_t seed,
+                               const mantle::obs::AnalyzeConfig& acfg) {
+  namespace sim = mantle::sim;
+  using mantle::kMinute;
+  using mantle::kSec;
+
+  sim::ScenarioConfig cfg;
+  cfg.cluster.num_mds = 3;
+  cfg.cluster.seed = seed;
+  cfg.cluster.bal_interval = kSec;
+  cfg.cluster.split_size = 300;
+  cfg.max_time = 2 * kMinute;
+  std::unique_ptr<mantle::fault::FaultInjector> inj;
+  if (name == "faulty") {
+    cfg.cluster.laggy_factor = 3.0;
+    cfg.retry.timeout = 2 * kSec;
+    cfg.max_time = 3 * kMinute;
+  }
+  sim::Scenario s(cfg);
+  s.cluster().set_balancer_all([](int) {
+    return std::make_unique<mantle::balancers::OriginalBalancer>();
+  });
+  for (int c = 0; c < 3; ++c)
+    s.add_client(mantle::workloads::make_shared_create_workload(
+        c, "/shared", /*files=*/4000, /*think=*/200));
+  if (name == "faulty") {
+    mantle::fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.crashes.push_back({kSec, 1});
+    plan.restarts.push_back({2 * kSec, 1});
+    plan.hb_drop_prob = 0.05;
+    plan.hb_duplicate_prob = 0.02;
+    inj = std::make_unique<mantle::fault::FaultInjector>(plan);
+    inj->arm(s.cluster());
+  }
+  s.run();
+  const auto counters =
+      mantle::obs::parse_metrics_counters(s.cluster().metrics().to_json());
+  return mantle::obs::analyze(s.cluster().trace(), acfg, &counters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const char* env = std::getenv("MANTLE_OBS_DIR");
+      env != nullptr && *env != '\0')
+    opt.dir = env;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mantle-stat: %s needs a value\n", flag);
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (a == "--dir") {
+      opt.dir = value("--dir");
+    } else if (a == "--scenario") {
+      opt.scenario = value("--scenario");
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(value("--seed"), nullptr, 10);
+    } else if (a == "--tick-ms") {
+      opt.cfg.tick =
+          std::strtoull(value("--tick-ms"), nullptr, 10) * mantle::kMsec;
+    } else if (a == "--json") {
+      opt.json = true;
+    } else if (a == "--check") {
+      opt.check = true;
+    } else if (a == "--write-reports") {
+      opt.write_reports = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "mantle-stat: unknown option '%s'\n", a.c_str());
+      usage(stderr);
+      return kExitUsage;
+    }
+  }
+
+  std::vector<Analyzed> runs;
+
+  if (!opt.scenario.empty()) {
+    if (opt.scenario != "plain" && opt.scenario != "faulty") {
+      std::fprintf(stderr, "mantle-stat: unknown scenario '%s'\n",
+                   opt.scenario.c_str());
+      return kExitUsage;
+    }
+    runs.push_back({opt.scenario + "-seed" + std::to_string(opt.seed),
+                    run_inline(opt.scenario, opt.seed, opt.cfg)});
+  } else {
+    if (opt.dir.empty()) {
+      std::fprintf(stderr,
+                   "mantle-stat: no input (set --dir, $MANTLE_OBS_DIR or "
+                   "--scenario)\n");
+      return kExitNoInput;
+    }
+    std::error_code ec;
+    std::vector<std::string> trace_files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opt.dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      constexpr const char* kSuffix = ".trace.json";
+      if (name.size() > std::strlen(kSuffix) &&
+          name.rfind(kSuffix) == name.size() - std::strlen(kSuffix))
+        trace_files.push_back(name);
+    }
+    if (ec) {
+      std::fprintf(stderr, "mantle-stat: cannot read %s: %s\n",
+                   opt.dir.c_str(), ec.message().c_str());
+      return kExitNoInput;
+    }
+    if (trace_files.empty()) {
+      std::fprintf(stderr, "mantle-stat: no *.trace.json in %s\n",
+                   opt.dir.c_str());
+      return kExitNoInput;
+    }
+    // Filesystem order is arbitrary; sort so output (and any
+    // first-tripped-detector reporting) is deterministic.
+    std::sort(trace_files.begin(), trace_files.end());
+
+    for (const std::string& name : trace_files) {
+      const std::string stem =
+          name.substr(0, name.size() - std::strlen(".trace.json"));
+      std::string trace_json;
+      if (!read_file(opt.dir + "/" + name, trace_json)) {
+        std::fprintf(stderr, "mantle-stat: cannot read %s/%s\n",
+                     opt.dir.c_str(), name.c_str());
+        return kExitNoInput;
+      }
+      const auto events = mantle::obs::parse_trace_json(trace_json);
+      std::map<std::string, double> counters;
+      std::string metrics_json;
+      const bool have_metrics =
+          read_file(opt.dir + "/" + stem + ".metrics.json", metrics_json);
+      if (have_metrics)
+        counters = mantle::obs::parse_metrics_counters(metrics_json);
+      runs.push_back({stem, mantle::obs::analyze(
+                                events, opt.cfg,
+                                have_metrics ? &counters : nullptr)});
+    }
+  }
+
+  int tripped = 0;
+  for (const Analyzed& r : runs) tripped += r.report.tripped();
+
+  if (opt.write_reports && !opt.dir.empty()) {
+    for (const Analyzed& r : runs) {
+      const std::string path = opt.dir + "/" + r.stem + ".analysis.json";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << r.report.to_json();
+    }
+  }
+
+  if (opt.json) {
+    std::string out = "{\"reports\":{";
+    bool first = true;
+    for (const Analyzed& r : runs) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + r.stem + "\":" + r.report.to_json();
+    }
+    out += "},\"tripped\":" + std::to_string(tripped) + "}";
+    std::printf("%s\n", out.c_str());
+  } else {
+    for (const Analyzed& r : runs) {
+      std::printf("== %s ==\n%s\n", r.stem.c_str(),
+                  r.report.to_table().c_str());
+    }
+    std::printf("%zu run(s) analyzed, %d tripped detector(s)\n", runs.size(),
+                tripped);
+  }
+
+  return opt.check ? std::min(tripped, kExitCheckCap) : 0;
+}
