@@ -22,7 +22,18 @@ int main(int argc, char** argv) {
 
   sim::ScenarioConfig cfg;
   cfg.cluster.num_mds = 1;
+  // Balance every simulated second (quick runs last only a few seconds)
+  // so the policy hooks actually evaluate during the scenario.
+  cfg.cluster.bal_interval = kSec;
   sim::Scenario s(cfg);
+  // Run the paper's original policy through the real interpreter. With a
+  // single MDS the when() condition (load > total/#MDSs) is never true, so
+  // the heat map is unchanged — but the full compile-once pipeline is
+  // exercised, and the dumped metrics let CI assert that the five hooks
+  // are compiled exactly once for the whole run.
+  s.cluster().set_balancer_all([](int) {
+    return std::make_unique<core::MantleBalancer>(core::scripts::original());
+  });
 
   workloads::CompileOptions opt;
   opt.root = "/client0";

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "balancers/builtin.hpp"
 #include "common/decay_counter.hpp"
 #include "core/mantle.hpp"
@@ -118,6 +121,42 @@ void BM_MantleMetaload(benchmark::State& state) {
 }
 BENCHMARK(BM_MantleMetaload);
 
+// --- Compile-once pipeline ---------------------------------------------
+// The pre-PR interpreter re-lexed and re-parsed the hook source on every
+// evaluation (and eval() additionally rebuilt the "return (<src>)" wrapper
+// string per call). BM_LuaReparseEval keeps that path alive for comparison;
+// BM_LuaCompiledEval is the same expression through a CompiledChunk.
+
+constexpr const char* kMdsloadExpr =
+    "0.8*MDSs[i][\"auth\"] + 0.2*MDSs[i][\"all\"]"
+    " + MDSs[i][\"req\"] + 10*MDSs[i][\"q\"]";
+
+lua::Interp& mdsload_env() {
+  static lua::Interp in = [] {
+    lua::Interp i;
+    i.run("MDSs = {}; MDSs[1] = {auth=1000, all=1200, req=500, q=3}; i = 1");
+    return i;
+  }();
+  return in;
+}
+
+void BM_LuaReparseEval(benchmark::State& state) {
+  lua::Interp& in = mdsload_env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.eval(kMdsloadExpr, "mdsload"));
+  }
+}
+BENCHMARK(BM_LuaReparseEval);
+
+void BM_LuaCompiledEval(benchmark::State& state) {
+  lua::Interp& in = mdsload_env();
+  const lua::CompiledChunk cc = lua::compile_expr(kMdsloadExpr, "mdsload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(in.run(cc));
+  }
+}
+BENCHMARK(BM_LuaCompiledEval);
+
 void BM_LuaFib(benchmark::State& state) {
   lua::Interp in;
   in.run("function fib(n) if n<2 then return n end return fib(n-1)+fib(n-2) end");
@@ -139,6 +178,105 @@ void BM_SelectorBestSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectorBestSelection);
 
+// --- Per-hook benchmarks over the paper's four policies ------------------
+// One benchmark per (hook, policy), with when/where additionally swept
+// over 2/5/16-rank views. Names are stable ("BM_MantleHook/<hook>/<policy>
+// [/<ranks>]"), so BENCH_micro.json files from different commits can be
+// compared entry by entry.
+
+struct NamedPolicy {
+  const char* name;
+  core::MantlePolicy policy;
+};
+
+const std::vector<NamedPolicy>& paper_policies() {
+  static const std::vector<NamedPolicy> ps = {
+      {"original", core::scripts::original()},
+      {"greedy_spill", core::scripts::greedy_spill()},
+      {"greedy_spill_even", core::scripts::greedy_spill_even()},
+      {"fill_and_spill", core::scripts::fill_and_spill()},
+  };
+  return ps;
+}
+
+void register_hook_benchmarks() {
+  static const int kRankCounts[] = {2, 5, 16};
+  for (const NamedPolicy& np : paper_policies()) {
+    const std::string prefix = std::string("BM_MantleHook/");
+    benchmark::RegisterBenchmark(
+        (prefix + "metaload/" + np.name).c_str(),
+        [&np](benchmark::State& st) {
+          core::MantleBalancer b(np.policy);
+          const cluster::PopSnapshot pop{10, 20, 5, 2, 1};
+          for (auto _ : st) benchmark::DoNotOptimize(b.metaload(pop));
+        });
+    benchmark::RegisterBenchmark(
+        (prefix + "mdsload/" + np.name).c_str(),
+        [&np](benchmark::State& st) {
+          core::MantleBalancer b(np.policy);
+          const auto view = sample_view(2);
+          for (auto _ : st) benchmark::DoNotOptimize(b.mdsload(view.mdss[1]));
+        });
+    benchmark::RegisterBenchmark(
+        (prefix + "howmuch/" + np.name).c_str(),
+        [&np](benchmark::State& st) {
+          core::MantleBalancer b(np.policy);
+          for (auto _ : st) benchmark::DoNotOptimize(b.howmuch());
+        });
+    for (const int n : kRankCounts) {
+      benchmark::RegisterBenchmark(
+          (prefix + "when/" + np.name + "/" + std::to_string(n)).c_str(),
+          [&np, n](benchmark::State& st) {
+            core::MantleBalancer b(np.policy);
+            const auto view = sample_view(n);
+            for (auto _ : st) benchmark::DoNotOptimize(b.when(view));
+          });
+      benchmark::RegisterBenchmark(
+          (prefix + "where/" + np.name + "/" + std::to_string(n)).c_str(),
+          [&np, n](benchmark::State& st) {
+            core::MantleBalancer b(np.policy);
+            const auto view = sample_view(n);
+            b.when(view);  // combined policies fill targets here
+            for (auto _ : st) benchmark::DoNotOptimize(b.where(view));
+          });
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): understands --quick (short
+// measurement window for CI) and defaults JSON output to BENCH_micro.json
+// so every run leaves a comparable artifact.
+int main(int argc, char** argv) {
+  std::vector<std::string> args_storage;
+  bool has_out = false;
+  bool quick = false;
+  args_storage.reserve(static_cast<std::size_t>(argc) + 3);
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+      continue;
+    }
+    if (a.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    args_storage.push_back(a);
+  }
+  if (!has_out) {
+    args_storage.push_back("--benchmark_out=BENCH_micro.json");
+    args_storage.push_back("--benchmark_out_format=json");
+  }
+  // Note: this benchmark version wants a plain double here, not "0.02s".
+  if (quick) args_storage.push_back("--benchmark_min_time=0.02");
+
+  std::vector<char*> args;
+  args.reserve(args_storage.size());
+  for (std::string& a : args_storage) args.push_back(a.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  register_hook_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mantle::core {
 
@@ -40,19 +41,11 @@ bool ends_with_then(const std::string& src) {
          (end == 3 || !std::isalnum(static_cast<unsigned char>(s[end - 4])));
 }
 
-lua::TablePtr hb_to_table(const HeartbeatPayload& hb, double load,
-                          double alive) {
-  auto t = lua::make_table();
-  t->set(Value("auth"), Value(hb.auth_metaload));
-  t->set(Value("all"), Value(hb.all_metaload));
-  t->set(Value("cpu"), Value(hb.cpu_pct));
-  t->set(Value("mem"), Value(hb.mem_pct));
-  t->set(Value("q"), Value(hb.queue_len));
-  t->set(Value("req"), Value(hb.req_rate));
-  t->set(Value("load"), Value(load));
-  t->set(Value("alive"), Value(alive));
-  return t;
-}
+constexpr const char* kHookNames[] = {"metaload", "mdsload", "when", "where",
+                                      "howmuch"};
+
+constexpr const char* kRowFields[8] = {"auth", "all", "cpu", "mem",
+                                       "q",    "req", "load", "alive"};
 
 /// Read the `targets` table a hook produced into a dense rank-indexed
 /// vector, defending the mechanism against policy bugs: non-finite and
@@ -138,6 +131,94 @@ MantleBalancer::MantleBalancer(MantlePolicy policy, Options opt)
       state_ = decode_state(raw);
   }
   bind_state_functions();
+  compile_policy();
+}
+
+// ---------------------------------------------------------------------------
+// Compile-once policy pipeline
+// ---------------------------------------------------------------------------
+
+void MantleBalancer::compile_policy() {
+  const std::string* srcs[kNumHooks] = {&policy_.metaload, &policy_.mdsload,
+                                        &policy_.when, &policy_.where,
+                                        &policy_.howmuch};
+  for (int h = 0; h < kNumHooks; ++h) {
+    if (srcs[h]->empty()) continue;
+    // Skip hooks whose cached program is already current so re-injection
+    // of one hook does not inflate the hit counter for the other four.
+    const HookProgram& p = programs_[h];
+    if (p.compiled && p.source == *srcs[h]) continue;
+    program(static_cast<Hook>(h), *srcs[h]);
+  }
+}
+
+const MantleBalancer::HookProgram& MantleBalancer::program(
+    Hook h, const std::string& src) const {
+  HookProgram& p = programs_[h];
+  if (p.compiled && p.source == src) {
+    ++cache_stats_.hits;
+    sync_cache_counters();
+    return p;
+  }
+  const bool recompile = p.compiled;
+  p.source = src;
+  p.is_expr = false;
+  p.then_style = false;
+  const char* name = kHookNames[h];
+  switch (h) {
+    case kMetaload:
+    case kMdsload:
+      // Expression or chunk assigning the result global; try the cheaper
+      // expression form first (one parse in the common case).
+      p.chunk = lua::compile_expr(src, name);
+      ++cache_stats_.parses;
+      if (p.chunk.ok()) {
+        p.is_expr = true;
+      } else {
+        p.chunk = lua::compile(src, name);
+        ++cache_stats_.parses;
+      }
+      break;
+    case kWhen:
+      if (ends_with_then(src)) {
+        // Table 1 style: "if <cond> then" — complete the statement once,
+        // here, so truth of the condition is observable at run time.
+        p.chunk = lua::compile(src + "\n__go = 1 end", name);
+        p.then_style = true;
+      } else {
+        p.chunk = lua::compile(src, name);
+      }
+      ++cache_stats_.parses;
+      break;
+    case kWhere:
+      p.chunk = lua::compile(src, name);
+      ++cache_stats_.parses;
+      break;
+    case kHowmuch:
+    default:
+      p.chunk = lua::compile_expr(src, name);
+      ++cache_stats_.parses;
+      break;
+  }
+  p.compiled = true;
+  if (recompile) {
+    ++cache_stats_.recompiles;
+    if (trace_ != nullptr)
+      trace_->event(last_now_, obs::EventKind::PolicyRecompile, last_whoami_,
+                    -1, name);
+  } else {
+    ++cache_stats_.misses;
+  }
+  sync_cache_counters();
+  return p;
+}
+
+void MantleBalancer::sync_cache_counters() const {
+  if (cache_hits_ == nullptr) return;
+  cache_hits_->inc(cache_stats_.hits - pushed_.hits);
+  cache_misses_->inc(cache_stats_.misses - pushed_.misses);
+  cache_recompiles_->inc(cache_stats_.recompiles - pushed_.recompiles);
+  pushed_ = cache_stats_;
 }
 
 void MantleBalancer::bind_state_functions() {
@@ -161,16 +242,12 @@ void MantleBalancer::bind_state_functions() {
   lua_.set_function("RDState", rd);
 }
 
-double MantleBalancer::eval_load_hook(const std::string& script,
+double MantleBalancer::eval_load_hook(Hook h, const std::string& script,
                                       const char* result_global) const {
   if (script.empty()) return 0.0;
-  lua::RunResult r;
-  if (is_expression(script)) {
-    r = lua_.eval(script, result_global);
-  } else {
-    r = lua_.run(script, result_global);
-    if (r.ok) r.values = {lua_.get_global(result_global)};
-  }
+  const HookProgram& prog = program(h, script);
+  lua::RunResult r = lua_.run(prog.chunk);
+  if (r.ok && !prog.is_expr) r.values = {lua_.get_global(result_global)};
   if (!r.ok) {
     ++hook_errors_;
     last_error_ = r.error;
@@ -183,16 +260,16 @@ double MantleBalancer::eval_load_hook(const std::string& script,
 }
 
 void MantleBalancer::attach_observability(obs::MetricsRegistry* metrics,
-                                          obs::TraceSink* /*trace*/) {
+                                          obs::TraceSink* trace) {
+  trace_ = trace;
   if (metrics == nullptr) {
     for (int h = 0; h < kNumHooks; ++h)
       hook_calls_[h] = hook_fail_[h] = nullptr;
     for (int h = 0; h < kNumHooks; ++h) hook_steps_[h] = nullptr;
     sanitized_ = nullptr;
+    cache_hits_ = cache_misses_ = cache_recompiles_ = nullptr;
     return;
   }
-  static constexpr const char* kHookNames[kNumHooks] = {
-      "metaload", "mdsload", "when", "where", "howmuch"};
   for (int h = 0; h < kNumHooks; ++h) {
     const std::string base = std::string("mantle_") + kHookNames[h];
     hook_calls_[h] =
@@ -205,6 +282,15 @@ void MantleBalancer::attach_observability(obs::MetricsRegistry* metrics,
   }
   sanitized_ = &metrics->counter("mantle_targets_sanitized_total",
                                  "bogus targets entries clamped/ignored");
+  cache_hits_ = &metrics->counter("mantle_policy_cache_hits_total",
+                                  "hook evaluations served from the cache");
+  cache_misses_ = &metrics->counter("mantle_policy_cache_misses_total",
+                                    "first-time hook compilations");
+  cache_recompiles_ =
+      &metrics->counter("mantle_policy_cache_recompiles_total",
+                        "cached hooks replaced by re-injection");
+  // The construction-time compiles predate this attach; reconcile.
+  sync_cache_counters();
 }
 
 void MantleBalancer::note_hook(Hook h, bool failed) const {
@@ -216,6 +302,34 @@ void MantleBalancer::note_hook(Hook h, bool failed) const {
   hook_steps_[h]->observe(static_cast<double>(lua_.steps_used()));
 }
 
+// ---------------------------------------------------------------------------
+// Zero-rebuild hook environments
+// ---------------------------------------------------------------------------
+
+void MantleBalancer::RowCache::update(const HeartbeatPayload& hb, double load,
+                                      double alive) {
+  // Intact = the exact eight canonical fields and no erasures since the
+  // cell pointers were taken. A policy that reshaped the row (added or
+  // nilled keys) gets a fresh row next tick, matching the old
+  // table-per-tick behavior.
+  const bool intact = row != nullptr && row->erase_version == version &&
+                      row->str_keys.size() == 8 && row->num_keys.empty();
+  if (!intact) {
+    if (row == nullptr) row = lua::make_table();
+    else row->clear();
+    for (int f = 0; f < 8; ++f) cells[f] = row->slot_str(kRowFields[f]);
+    version = row->erase_version;
+  }
+  *cells[0] = Value(hb.auth_metaload);
+  *cells[1] = Value(hb.all_metaload);
+  *cells[2] = Value(hb.cpu_pct);
+  *cells[3] = Value(hb.mem_pct);
+  *cells[4] = Value(hb.queue_len);
+  *cells[5] = Value(hb.req_rate);
+  *cells[6] = Value(load);
+  *cells[7] = Value(alive);
+}
+
 double MantleBalancer::metaload(const PopSnapshot& pop) const {
   lua_.set_global("IRD", Value(pop.ird));
   lua_.set_global("IWR", Value(pop.iwr));
@@ -223,37 +337,92 @@ double MantleBalancer::metaload(const PopSnapshot& pop) const {
   lua_.set_global("FETCH", Value(pop.fetch));
   lua_.set_global("STORE", Value(pop.store));
   const std::uint64_t errs = hook_errors_;
-  const double v = eval_load_hook(policy_.metaload, "metaload");
+  const double v = eval_load_hook(kMetaload, policy_.metaload, "metaload");
   note_hook(kMetaload, hook_errors_ != errs);
   return v;
 }
 
 double MantleBalancer::mdsload(const HeartbeatPayload& hb) const {
   // The hook is an expression over MDSs[i]; bind a table holding the
-  // entry being scored at its 1-based index.
-  auto mdss = lua::make_table();
+  // entry being scored at its 1-based index. One cached single-row
+  // environment per rank, refreshed in place.
+  const std::size_t slot =
+      hb.rank > 0 ? static_cast<std::size_t>(hb.rank) : std::size_t{0};
+  if (solo_envs_.size() <= slot) solo_envs_.resize(slot + 1);
+  SoloEnv& se = solo_envs_[slot];
   const double idx = static_cast<double>(hb.rank + 1);
-  mdss->set(Value(idx), Value(hb_to_table(hb, 0.0, 1.0)));
-  lua_.set_global("MDSs", Value(mdss));
+  const bool intact = se.mdss != nullptr && se.idx == idx &&
+                      se.mdss->erase_version == se.version &&
+                      se.mdss->num_keys.size() == 1 &&
+                      se.mdss->str_keys.empty();
+  if (!intact) {
+    if (se.mdss == nullptr) se.mdss = lua::make_table();
+    else se.mdss->clear();
+    se.cell = se.mdss->slot_num(idx);
+    se.version = se.mdss->erase_version;
+    se.idx = idx;
+  }
+  se.row.update(hb, 0.0, 1.0);
+  if (!(se.cell->is_table() && se.cell->table() == se.row.row))
+    *se.cell = Value(se.row.row);
+  lua_.set_global("MDSs", Value(se.mdss));
   lua_.set_global("i", Value(idx));
   const std::uint64_t errs = hook_errors_;
-  const double v = eval_load_hook(policy_.mdsload, "mdsload");
+  const double v = eval_load_hook(kMdsload, policy_.mdsload, "mdsload");
   note_hook(kMdsload, hook_errors_ != errs);
   return v;
 }
 
 void MantleBalancer::bind_view(const ClusterView& view) {
-  auto mdss = lua::make_table();
-  auto targets = lua::make_table();
-  for (std::size_t i = 0; i < view.size(); ++i) {
-    const double idx = static_cast<double>(i + 1);
-    mdss->set(Value(idx),
-              Value(hb_to_table(view.mdss[i], view.loads[i],
-                                view.is_alive(i) ? 1.0 : 0.0)));
-    targets->set(Value(idx), Value(0.0));
+  last_now_ = view.now;
+  last_whoami_ = view.whoami;
+  const std::size_t n = view.size();
+  ViewEnv& env = view_env_;
+  if (env.mdss == nullptr) {
+    env.mdss = lua::make_table();
+    env.targets = lua::make_table();
   }
-  lua_.set_global("MDSs", Value(mdss));
-  lua_.set_global("targets", Value(targets));
+
+  // MDSs container: reuse the rank->row cells unless a policy erased keys
+  // or the cluster changed size.
+  const bool mdss_intact = env.rows.size() == n &&
+                           env.mdss->erase_version == env.mdss_version &&
+                           env.mdss->num_keys.size() == n &&
+                           env.mdss->str_keys.empty();
+  if (!mdss_intact) {
+    env.mdss->clear();
+    env.rows.resize(n);
+    env.mdss_cells.assign(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i)
+      env.mdss_cells[i] = env.mdss->slot_num(static_cast<double>(i + 1));
+    env.mdss_version = env.mdss->erase_version;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    RowCache& rc = env.rows[i];
+    rc.update(view.mdss[i], view.loads[i], view.is_alive(i) ? 1.0 : 0.0);
+    // Heal MDSs[i] if a policy overwrote the container cell itself.
+    lua::Value& cell = *env.mdss_cells[i];
+    if (!(cell.is_table() && cell.table() == rc.row)) cell = Value(rc.row);
+  }
+
+  // targets: same table every tick, cells reset to 0.
+  const bool targets_intact = env.target_cells.size() == n &&
+                              env.targets->erase_version ==
+                                  env.targets_version &&
+                              env.targets->num_keys.size() == n &&
+                              env.targets->str_keys.empty();
+  if (!targets_intact) {
+    env.targets->clear();
+    env.target_cells.assign(n, nullptr);
+    for (std::size_t i = 0; i < n; ++i)
+      env.target_cells[i] = env.targets->slot_num(static_cast<double>(i + 1));
+    env.targets_version = env.targets->erase_version;
+  }
+  for (std::size_t i = 0; i < n; ++i) *env.target_cells[i] = Value(0.0);
+
+  // Globals are rebound every tick: a policy may have replaced them.
+  lua_.set_global("MDSs", Value(env.mdss));
+  lua_.set_global("targets", Value(env.targets));
   lua_.set_global("whoami", Value(static_cast<double>(view.whoami + 1)));
   lua_.set_global("total", Value(view.total_load));
   const HeartbeatPayload& me = view.mdss[static_cast<std::size_t>(view.whoami)];
@@ -269,20 +438,19 @@ bool MantleBalancer::when(const ClusterView& view) {
   bind_view(view);
   lua_.set_global("go", Value{});
 
+  const HookProgram& prog = program(kWhen, policy_.when);
   lua::RunResult r;
   bool explicit_result = false;
   bool result = false;
-  if (ends_with_then(policy_.when)) {
-    // Table 1 style: "if <cond> then" — complete the statement so truth
-    // of the condition is observable.
+  if (prog.then_style) {
     lua_.set_global("__go", Value(0.0));
-    r = lua_.run(policy_.when + "\n__go = 1 end", "when");
+    r = lua_.run(prog.chunk);
     if (r.ok) {
       explicit_result = true;
       result = lua_.get_global("__go").to_number().value_or(0.0) == 1.0;
     }
   } else {
-    r = lua_.run(policy_.when, "when");
+    r = lua_.run(prog.chunk);
     if (r.ok) {
       if (!r.values.empty() && r.values[0].is_bool()) {
         explicit_result = true;
@@ -321,7 +489,7 @@ std::vector<double> MantleBalancer::where(const ClusterView& view) {
     return pending_targets_;
   }
   bind_view(view);
-  lua::RunResult r = lua_.run(policy_.where, "where");
+  lua::RunResult r = lua_.run(program(kWhere, policy_.where).chunk);
   if (!r.ok) {
     ++hook_errors_;
     last_error_ = r.error;
@@ -339,7 +507,7 @@ std::vector<double> MantleBalancer::where(const ClusterView& view) {
 
 std::vector<std::string> MantleBalancer::howmuch() const {
   if (policy_.howmuch.empty()) return {"big_first"};
-  lua::RunResult r = lua_.eval(policy_.howmuch, "howmuch");
+  lua::RunResult r = lua_.run(program(kHowmuch, policy_.howmuch).chunk);
   note_hook(kHowmuch, !r.ok);
   if (!r.ok || !r.first().is_table()) {
     if (!r.ok) {
@@ -371,6 +539,10 @@ std::string MantleBalancer::inject(const std::string& key,
   const std::string err = validate_policy(candidate, opt_.budget);
   if (!err.empty()) return err;
   policy_ = std::move(candidate);
+  // Invalidate the cached program for the replaced hook right away: the
+  // next tick runs the new code (counted as a recompile, traced as a
+  // policy-recompile event). Unchanged hooks stay cached.
+  compile_policy();
   return "";
 }
 

@@ -79,6 +79,19 @@ MantlePolicy adaptable();          // Listing 4
 
 class MantleBalancer final : public cluster::Balancer {
  public:
+  /// Compile-once pipeline counters. Every hook source is parsed exactly
+  /// once per injection: `misses` counts first compiles (one per non-empty
+  /// hook, at construction), `recompiles` counts re-injections replacing a
+  /// cached program, `hits` counts evaluations served from the cache, and
+  /// `parses` counts raw parser invocations (a hook that is not a bare
+  /// expression costs one failed expression parse plus one chunk parse).
+  struct PolicyCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t recompiles = 0;
+    std::uint64_t parses = 0;
+  };
+
   struct Options {
     std::uint64_t budget = 1 << 20;  // interpreter steps per hook call
     std::uint64_t lua_seed = 0;      // for math.random in policies
@@ -121,13 +134,70 @@ class MantleBalancer final : public cluster::Balancer {
   std::uint64_t hook_errors() const { return hook_errors_; }
   const std::string& last_error() const { return last_error_; }
 
+  /// Policy-cache counters (also exported as mantle_policy_cache_*_total
+  /// once attach_observability() has run).
+  const PolicyCacheStats& cache_stats() const { return cache_stats_; }
+
  private:
   /// Index into the per-hook instrumentation arrays.
   enum Hook { kMetaload = 0, kMdsload, kWhen, kWhere, kHowmuch, kNumHooks };
 
+  /// One hook's compiled form. Classification (bare expression vs chunk,
+  /// Table-1 `... then` fragment) happens at compile time, never per call.
+  struct HookProgram {
+    std::string source;        // what was compiled (cache key)
+    lua::CompiledChunk chunk;  // ready-to-run AST (or compile error)
+    bool is_expr = false;      // compiled via compile_expr()
+    bool then_style = false;   // when-hook "if <cond> then" fragment
+    bool compiled = false;
+  };
+
+  /// One MDSs[i] row reused across ticks: the table plus stable pointers
+  /// to its eight value cells. Rebuilt only if a policy changed the row's
+  /// shape (added/erased keys) — detected via erase_version + key counts.
+  struct RowCache {
+    lua::TablePtr row;
+    std::uint32_t version = 0;
+    lua::Value* cells[8] = {};  // auth all cpu mem q req load alive
+
+    void update(const cluster::HeartbeatPayload& hb, double load, double alive);
+  };
+
+  /// The when/where hook environment, built once and refreshed in place.
+  struct ViewEnv {
+    lua::TablePtr mdss;
+    lua::TablePtr targets;
+    std::uint32_t mdss_version = 0;
+    std::uint32_t targets_version = 0;
+    std::vector<RowCache> rows;
+    std::vector<lua::Value*> mdss_cells;    // MDSs[i] container cells
+    std::vector<lua::Value*> target_cells;  // targets[i] cells
+  };
+
+  /// Single-row MDSs environment for the mdsload hook, one per rank.
+  struct SoloEnv {
+    lua::TablePtr mdss;
+    std::uint32_t version = 0;
+    double idx = 0.0;
+    RowCache row;
+    lua::Value* cell = nullptr;
+  };
+
+  /// The cached compiled program for hook `h`, (re)compiling iff `src`
+  /// differs from what is cached. Counts hits/misses/recompiles.
+  const HookProgram& program(Hook h, const std::string& src) const;
+  /// Eagerly compile every non-empty hook of the current policy.
+  void compile_policy();
+  /// Push cache-stat deltas into the registry counters. The five
+  /// construction-time compiles predate attach_observability(), so the
+  /// counters are reconciled from cache_stats_ instead of incremented
+  /// inline (pushed_ remembers what the registry has already seen).
+  void sync_cache_counters() const;
+
   void bind_view(const cluster::ClusterView& view);
   void bind_state_functions();
-  double eval_load_hook(const std::string& script, const char* result_global) const;
+  double eval_load_hook(Hook h, const std::string& script,
+                        const char* result_global) const;
   /// Bump the hook's call/error counters and record the interpreter steps
   /// the evaluation consumed. No-op until attach_observability().
   void note_hook(Hook h, bool failed) const;
@@ -141,12 +211,24 @@ class MantleBalancer final : public cluster::Balancer {
   std::vector<double> pending_targets_;  // filled by a combined when-hook
   bool when_filled_targets_ = false;
 
+  mutable HookProgram programs_[kNumHooks];
+  mutable PolicyCacheStats cache_stats_;
+  mutable PolicyCacheStats pushed_;  // already reflected in the registry
+  mutable ViewEnv view_env_;
+  mutable std::vector<SoloEnv> solo_envs_;
+  mutable Time last_now_ = 0;     // latest view.now seen (trace timestamps)
+  mutable int last_whoami_ = -1;  // latest view.whoami seen
+
   // Observability handles (owned by the cluster's registry; null until
   // attach_observability). The pointees are updated from const hooks.
   obs::Counter* hook_calls_[kNumHooks] = {};
   obs::Counter* hook_fail_[kNumHooks] = {};
   obs::Histogram* hook_steps_[kNumHooks] = {};
   obs::Counter* sanitized_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_recompiles_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 /// Validate a policy before injecting it into a live cluster: parse every

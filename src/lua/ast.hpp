@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,6 +21,13 @@ using StmtPtr = std::unique_ptr<Stmt>;
 
 struct Block {
   std::vector<StmtPtr> stmts;
+  /// Filled by the resolver: true if a Function expression appears anywhere
+  /// in this block's subtree, meaning its locals may be captured.
+  bool contains_closure = false;
+  /// >= 0: this block runs in its own frame of that many slots (fresh per
+  /// entry, so closures created inside capture per-iteration variables).
+  /// -1: the block's locals are merged into the enclosing frame.
+  int frame_slots = -1;
 };
 
 enum class BinOp {
@@ -35,6 +43,9 @@ struct FunctionDef {
   bool is_vararg = false;
   Block body;
   int line = 0;
+  /// Call-frame size (params occupy slots [0, params.size())); set by the
+  /// resolver. The body block is merged into this frame (frame_slots == -1).
+  std::uint32_t frame_slots = 0;
 };
 
 struct Expr {
@@ -50,6 +61,11 @@ struct Expr {
     Unary,     // uop, a
   };
 
+  /// How a Name expression was bound by the resolver. Global is the safe
+  /// default: an unresolved name behaves like the pre-resolver dynamic
+  /// lookup falling through to the globals table.
+  enum class RefKind : std::uint8_t { Global, Local };
+
   Kind kind;
   int line = 0;
   double number = 0.0;
@@ -61,6 +77,9 @@ struct Expr {
   BinOp bop = BinOp::Add;
   UnOp uop = UnOp::Neg;
   std::shared_ptr<FunctionDef> fn;
+  RefKind ref = RefKind::Global;  // Name only
+  std::uint16_t hops = 0;         // frames to walk up (Name/Local only)
+  std::uint32_t slot = 0;         // slot index in that frame
 };
 
 struct Stmt {
@@ -89,6 +108,11 @@ struct Stmt {
   Block body;
   std::vector<std::pair<ExprPtr, Block>> clauses;
   std::optional<Block> else_body;
+  /// Resolver-assigned frame slots for `names` (Local/NumFor/GenFor).
+  std::vector<std::uint32_t> slots;
+  /// `local function f`: f is in scope inside its own body (recursion),
+  /// unlike `local f = function() ... end` where the body sees global f.
+  bool local_function = false;
 };
 
 /// A parsed chunk. Shared ownership: closures created while running the
@@ -96,6 +120,8 @@ struct Stmt {
 struct Chunk {
   std::string name;
   Block block;
+  /// Top-level frame size; the chunk block is merged into it.
+  std::uint32_t frame_slots = 0;
 };
 
 using ChunkPtr = std::shared_ptr<Chunk>;

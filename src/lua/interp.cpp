@@ -6,14 +6,6 @@
 
 namespace mantle::lua {
 
-Value* Scope::find(const std::string& name) {
-  for (Scope* s = this; s != nullptr; s = s->parent.get()) {
-    const auto it = s->vars.find(name);
-    if (it != s->vars.end()) return &it->second;
-  }
-  return nullptr;
-}
-
 Interp::Interp() : globals_(make_table()) { install_stdlib(); }
 
 void Interp::runtime_error(int line, const std::string& msg) const {
@@ -26,15 +18,65 @@ void Interp::step(int line) {
     runtime_error(line, "instruction budget exceeded (possible infinite loop)");
 }
 
-RunResult Interp::run(const std::string& src, const std::string& chunk_name) {
-  RunResult r;
-  chunk_name_ = chunk_name;
-  steps_used_ = 0;
+// ---------------------------------------------------------------------------
+// Frame pool
+// ---------------------------------------------------------------------------
+
+FramePtr Interp::acquire_frame(std::size_t slots, FramePtr parent) {
+  FramePtr f;
+  if (!frame_pool_.empty()) {
+    f = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+  } else {
+    f = std::make_shared<Frame>();
+  }
+  f->parent = std::move(parent);
+  f->slots.resize(slots);  // pooled frames are cleared, so all slots are nil
+  return f;
+}
+
+void Interp::release_frame(FramePtr& f) {
+  // use_count == 1 means no closure captured the frame: recycle it. A
+  // captured frame keeps its slots and parent chain alive for the closure.
+  if (f.use_count() == 1) {
+    f->slots.clear();  // drop value refs, keep capacity
+    f->parent.reset();
+    frame_pool_.push_back(std::move(f));
+  }
+  f.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+CompiledChunk compile(const std::string& src, const std::string& chunk_name) {
+  CompiledChunk c;
   try {
-    ChunkPtr chunk = parse(src, chunk_name);
-    chunks_.push_back(chunk);
-    auto scope = std::make_shared<Scope>();
-    ExecState st = exec_block(chunk->block, scope);
+    c.chunk = parse(src, chunk_name);
+  } catch (const LuaError& e) {
+    c.error = e.what();
+  }
+  return c;
+}
+
+CompiledChunk compile_expr(const std::string& expr_src,
+                           const std::string& chunk_name) {
+  return compile("return (" + expr_src + ")", chunk_name);
+}
+
+RunResult Interp::run(const CompiledChunk& cc) {
+  RunResult r;
+  steps_used_ = 0;
+  if (!cc.ok()) {
+    r.error = cc.error;
+    return r;
+  }
+  chunk_name_ = cc.chunk->name;
+  try {
+    FramePtr top = acquire_frame(cc.chunk->frame_slots, nullptr);
+    ExecState st = exec_stmts(cc.chunk->block, top);
+    release_frame(top);
     r.ok = true;
     if (st.flow == Flow::Return) r.values = std::move(st.ret);
   } catch (const LuaError& e) {
@@ -43,8 +85,12 @@ RunResult Interp::run(const std::string& src, const std::string& chunk_name) {
   return r;
 }
 
+RunResult Interp::run(const std::string& src, const std::string& chunk_name) {
+  return run(compile(src, chunk_name));
+}
+
 RunResult Interp::eval(const std::string& expr_src, const std::string& chunk_name) {
-  return run("return (" + expr_src + ")", chunk_name);
+  return run(compile_expr(expr_src, chunk_name));
 }
 
 RunResult Interp::call(const Value& fn, std::vector<Value> args) {
@@ -64,11 +110,11 @@ RunResult Interp::call(const Value& fn, std::vector<Value> args) {
 }
 
 void Interp::set_global(const std::string& name, Value v) {
-  globals_->set(Value(name), std::move(v));
+  globals_->set_str(name, std::move(v));
 }
 
 Value Interp::get_global(const std::string& name) const {
-  return globals_->get(Value(name));
+  return globals_->get_str(name);
 }
 
 void Interp::set_function(const std::string& name, Callable::Builtin fn) {
@@ -79,61 +125,58 @@ void Interp::set_function(const std::string& name, Callable::Builtin fn) {
 // Statements
 // ---------------------------------------------------------------------------
 
-Interp::ExecState Interp::exec_block(const Block& block,
-                                     const std::shared_ptr<Scope>& scope) {
+Interp::ExecState Interp::exec_stmts(const Block& block, const FramePtr& frame) {
   for (const StmtPtr& s : block.stmts) {
-    ExecState st = exec_stmt(*s, scope);
+    ExecState st = exec_stmt(*s, frame);
     if (st.flow != Flow::Normal) return st;
   }
   return {};
 }
 
-Interp::ExecState Interp::exec_stmt(const Stmt& s,
-                                    const std::shared_ptr<Scope>& scope) {
+Interp::ExecState Interp::exec_block(const Block& block, const FramePtr& frame) {
+  if (block.frame_slots < 0) return exec_stmts(block, frame);
+  FramePtr inner =
+      acquire_frame(static_cast<std::size_t>(block.frame_slots), frame);
+  ExecState st = exec_stmts(block, inner);
+  release_frame(inner);
+  return st;
+}
+
+Interp::ExecState Interp::exec_stmt(const Stmt& s, const FramePtr& frame) {
   step(s.line);
   switch (s.kind) {
     case Stmt::Kind::ExprStat:
-      eval_multi(*s.rhs[0], scope);
+      eval_multi(*s.rhs[0], frame);
       return {};
 
     case Stmt::Kind::Assign: {
-      std::vector<Value> vals = eval_exprlist(s.rhs, scope);
+      std::vector<Value> vals = eval_exprlist(s.rhs, frame);
       vals.resize(s.lhs.size());
       for (std::size_t i = 0; i < s.lhs.size(); ++i)
-        assign(*s.lhs[i], std::move(vals[i]), scope);
+        assign(*s.lhs[i], std::move(vals[i]), frame);
       return {};
     }
 
     case Stmt::Kind::Local: {
-      std::vector<Value> vals = eval_exprlist(s.rhs, scope);
-      vals.resize(s.names.size());
-      for (std::size_t i = 0; i < s.names.size(); ++i)
-        scope->vars[s.names[i]] = std::move(vals[i]);
+      std::vector<Value> vals = eval_exprlist(s.rhs, frame);
+      vals.resize(s.slots.size());
+      for (std::size_t i = 0; i < s.slots.size(); ++i)
+        frame->slots[s.slots[i]] = std::move(vals[i]);
       return {};
     }
 
     case Stmt::Kind::If: {
       for (const auto& [cond, body] : s.clauses) {
-        if (eval_expr(*cond, scope).truthy()) {
-          auto inner = std::make_shared<Scope>();
-          inner->parent = scope;
-          return exec_block(body, inner);
-        }
+        if (eval_expr(*cond, frame).truthy()) return exec_block(body, frame);
       }
-      if (s.else_body) {
-        auto inner = std::make_shared<Scope>();
-        inner->parent = scope;
-        return exec_block(*s.else_body, inner);
-      }
+      if (s.else_body) return exec_block(*s.else_body, frame);
       return {};
     }
 
     case Stmt::Kind::While: {
-      while (eval_expr(*s.e1, scope).truthy()) {
+      while (eval_expr(*s.e1, frame).truthy()) {
         step(s.line);
-        auto inner = std::make_shared<Scope>();
-        inner->parent = scope;
-        ExecState st = exec_block(s.body, inner);
+        ExecState st = exec_block(s.body, frame);
         if (st.flow == Flow::Break) break;
         if (st.flow == Flow::Return) return st;
       }
@@ -141,36 +184,48 @@ Interp::ExecState Interp::exec_stmt(const Stmt& s,
     }
 
     case Stmt::Kind::Repeat: {
+      const bool own_frame = s.body.frame_slots >= 0;
       for (;;) {
         step(s.line);
-        auto inner = std::make_shared<Scope>();
-        inner->parent = scope;
-        ExecState st = exec_block(s.body, inner);
-        if (st.flow == Flow::Break) break;
-        if (st.flow == Flow::Return) return st;
+        FramePtr target =
+            own_frame
+                ? acquire_frame(static_cast<std::size_t>(s.body.frame_slots),
+                                frame)
+                : frame;
+        ExecState st = exec_stmts(s.body, target);
         // `until` sees locals declared in the body (Lua scoping rule).
-        if (eval_expr(*s.e1, inner).truthy()) break;
+        const bool done =
+            st.flow == Flow::Break ||
+            (st.flow == Flow::Normal && eval_expr(*s.e1, target).truthy());
+        if (own_frame) release_frame(target);
+        if (st.flow == Flow::Return) return st;
+        if (done) break;
       }
       return {};
     }
 
     case Stmt::Kind::NumFor: {
-      const Value vstart = eval_expr(*s.e1, scope);
-      const Value vstop = eval_expr(*s.e2, scope);
-      Value vstep = s.e3 ? eval_expr(*s.e3, scope) : Value(1.0);
+      const Value vstart = eval_expr(*s.e1, frame);
+      const Value vstop = eval_expr(*s.e2, frame);
+      Value vstep = s.e3 ? eval_expr(*s.e3, frame) : Value(1.0);
       const auto start = vstart.to_number();
       const auto stop = vstop.to_number();
       const auto stepv = vstep.to_number();
       if (!start || !stop || !stepv)
         runtime_error(s.line, "'for' bounds must be numbers");
       if (*stepv == 0.0) runtime_error(s.line, "'for' step is zero");
+      const bool own_frame = s.body.frame_slots >= 0;
       for (double i = *start;
            (*stepv > 0.0) ? (i <= *stop) : (i >= *stop); i += *stepv) {
         step(s.line);
-        auto inner = std::make_shared<Scope>();
-        inner->parent = scope;
-        inner->vars[s.names[0]] = Value(i);
-        ExecState st = exec_block(s.body, inner);
+        FramePtr target =
+            own_frame
+                ? acquire_frame(static_cast<std::size_t>(s.body.frame_slots),
+                                frame)
+                : frame;
+        target->slots[s.slots[0]] = Value(i);
+        ExecState st = exec_stmts(s.body, target);
+        if (own_frame) release_frame(target);
         if (st.flow == Flow::Break) break;
         if (st.flow == Flow::Return) return st;
       }
@@ -179,41 +234,43 @@ Interp::ExecState Interp::exec_stmt(const Stmt& s,
 
     case Stmt::Kind::GenFor: {
       // for vars in f, s, ctrl do ... end
-      std::vector<Value> iter = eval_exprlist(s.rhs, scope);
+      std::vector<Value> iter = eval_exprlist(s.rhs, frame);
       iter.resize(3);
       Value fn = iter[0];
       Value state = iter[1];
       Value control = iter[2];
       if (!fn.is_callable())
         runtime_error(s.line, "'for in' iterator is not callable");
+      const bool own_frame = s.body.frame_slots >= 0;
       for (;;) {
         step(s.line);
         std::vector<Value> args{state, control};
         std::vector<Value> vals = call_callable(fn.callable(), std::move(args));
-        vals.resize(std::max(vals.size(), s.names.size()));
+        vals.resize(std::max(vals.size(), s.slots.size()));
         if (vals[0].is_nil()) break;
         control = vals[0];
-        auto inner = std::make_shared<Scope>();
-        inner->parent = scope;
-        for (std::size_t i = 0; i < s.names.size(); ++i)
-          inner->vars[s.names[i]] = vals[i];
-        ExecState st = exec_block(s.body, inner);
+        FramePtr target =
+            own_frame
+                ? acquire_frame(static_cast<std::size_t>(s.body.frame_slots),
+                                frame)
+                : frame;
+        for (std::size_t i = 0; i < s.slots.size(); ++i)
+          target->slots[s.slots[i]] = vals[i];
+        ExecState st = exec_stmts(s.body, target);
+        if (own_frame) release_frame(target);
         if (st.flow == Flow::Break) break;
         if (st.flow == Flow::Return) return st;
       }
       return {};
     }
 
-    case Stmt::Kind::Do: {
-      auto inner = std::make_shared<Scope>();
-      inner->parent = scope;
-      return exec_block(s.body, inner);
-    }
+    case Stmt::Kind::Do:
+      return exec_block(s.body, frame);
 
     case Stmt::Kind::Return: {
       ExecState st;
       st.flow = Flow::Return;
-      st.ret = eval_exprlist(s.rhs, scope);
+      st.ret = eval_exprlist(s.rhs, frame);
       return st;
     }
 
@@ -226,22 +283,27 @@ Interp::ExecState Interp::exec_stmt(const Stmt& s,
   return {};
 }
 
-void Interp::assign(const Expr& target, Value v,
-                    const std::shared_ptr<Scope>& scope) {
+void Interp::assign(const Expr& target, Value v, const FramePtr& frame) {
   if (target.kind == Expr::Kind::Name) {
-    if (Value* slot = scope->find(target.str)) {
-      *slot = std::move(v);
+    if (target.ref == Expr::RefKind::Local) {
+      walk(frame, target.hops)->slots[target.slot] = std::move(v);
     } else {
-      globals_->set(Value(target.str), std::move(v));
+      globals_->set_str(target.str, std::move(v));
     }
     return;
   }
   // Index assignment: a[b] = v
-  Value obj = eval_expr(*target.a, scope);
+  Value obj = eval_expr(*target.a, frame);
   if (!obj.is_table())
     runtime_error(target.line, "attempt to index a " +
                                    std::string(obj.type_name()) + " value");
-  Value key = eval_expr(*target.b, scope);
+  // Constant string keys (a.b sugar, a["b"]) skip Value construction.
+  if (target.b->kind == Expr::Kind::String) {
+    step(target.b->line);
+    obj.table()->set_str(target.b->str, std::move(v));
+    return;
+  }
+  Value key = eval_expr(*target.b, frame);
   try {
     obj.table()->set(key, std::move(v));
   } catch (const LuaError& e) {
@@ -254,28 +316,27 @@ void Interp::assign(const Expr& target, Value v,
 // ---------------------------------------------------------------------------
 
 std::vector<Value> Interp::eval_exprlist(const std::vector<ExprPtr>& list,
-                                         const std::shared_ptr<Scope>& scope) {
+                                         const FramePtr& frame) {
   std::vector<Value> out;
   for (std::size_t i = 0; i < list.size(); ++i) {
     if (i + 1 == list.size()) {
       // Last expression expands all of its results.
-      std::vector<Value> vals = eval_multi(*list[i], scope);
+      std::vector<Value> vals = eval_multi(*list[i], frame);
       for (Value& v : vals) out.push_back(std::move(v));
     } else {
-      out.push_back(eval_expr(*list[i], scope));
+      out.push_back(eval_expr(*list[i], frame));
     }
   }
   return out;
 }
 
-std::vector<Value> Interp::eval_multi(const Expr& e,
-                                      const std::shared_ptr<Scope>& scope) {
+std::vector<Value> Interp::eval_multi(const Expr& e, const FramePtr& frame) {
   if (e.kind == Expr::Kind::Call || e.kind == Expr::Kind::Method)
-    return eval_call(e, scope);
-  return {eval_expr(e, scope)};
+    return eval_call(e, frame);
+  return {eval_expr(e, frame)};
 }
 
-Value Interp::eval_expr(const Expr& e, const std::shared_ptr<Scope>& scope) {
+Value Interp::eval_expr(const Expr& e, const FramePtr& frame) {
   step(e.line);
   switch (e.kind) {
     case Expr::Kind::Nil: return {};
@@ -287,19 +348,30 @@ Value Interp::eval_expr(const Expr& e, const std::shared_ptr<Scope>& scope) {
       runtime_error(e.line, "'...' is not supported outside function calls");
 
     case Expr::Kind::Name: {
-      if (Value* slot = scope->find(e.str)) return *slot;
-      return globals_->get(Value(e.str));
+      if (e.ref == Expr::RefKind::Local)
+        return walk(frame, e.hops)->slots[e.slot];
+      return globals_->get_str(e.str);
     }
 
     case Expr::Kind::Index: {
-      Value obj = eval_expr(*e.a, scope);
+      Value obj = eval_expr(*e.a, frame);
       if (!obj.is_table())
         runtime_error(e.line, "attempt to index a " +
                                   std::string(obj.type_name()) + " value" +
                                   (e.a->kind == Expr::Kind::Name
                                        ? " (global '" + e.a->str + "')"
                                        : ""));
-      Value key = eval_expr(*e.b, scope);
+      // Constant keys use the string interned in the AST node — no Value
+      // (and no std::string) construction per access.
+      if (e.b->kind == Expr::Kind::String) {
+        step(e.b->line);
+        return obj.table()->get_str(e.b->str);
+      }
+      if (e.b->kind == Expr::Kind::Number) {
+        step(e.b->line);
+        return obj.table()->get_num(e.b->number);
+      }
+      Value key = eval_expr(*e.b, frame);
       try {
         return obj.table()->get(key);
       } catch (const LuaError& err) {
@@ -309,7 +381,7 @@ Value Interp::eval_expr(const Expr& e, const std::shared_ptr<Scope>& scope) {
 
     case Expr::Kind::Call:
     case Expr::Kind::Method: {
-      std::vector<Value> vals = eval_call(e, scope);
+      std::vector<Value> vals = eval_call(e, frame);
       return vals.empty() ? Value{} : std::move(vals.front());
     }
 
@@ -317,34 +389,34 @@ Value Interp::eval_expr(const Expr& e, const std::shared_ptr<Scope>& scope) {
       auto c = std::make_shared<Callable>();
       c->name = e.fn->name;
       c->def = e.fn.get();
-      c->closure = scope;
+      c->closure = frame;
       c->owner = e.fn;  // pins the FunctionDef (and its body) alive
       return Value(std::move(c));
     }
 
-    case Expr::Kind::Table: return eval_table(e, scope);
-    case Expr::Kind::Binary: return eval_binary(e, scope);
-    case Expr::Kind::Unary: return eval_unary(e, scope);
+    case Expr::Kind::Table: return eval_table(e, frame);
+    case Expr::Kind::Binary: return eval_binary(e, frame);
+    case Expr::Kind::Unary: return eval_unary(e, frame);
   }
   return {};
 }
 
-Value Interp::eval_table(const Expr& e, const std::shared_ptr<Scope>& scope) {
+Value Interp::eval_table(const Expr& e, const FramePtr& frame) {
   TablePtr t = make_table();
   double idx = 1.0;
   for (std::size_t i = 0; i < e.list.size(); ++i) {
     if (i + 1 == e.list.size()) {
       // Trailing call expands into consecutive array slots.
-      std::vector<Value> vals = eval_multi(*e.list[i], scope);
-      for (Value& v : vals) t->set(Value(idx++), std::move(v));
+      std::vector<Value> vals = eval_multi(*e.list[i], frame);
+      for (Value& v : vals) t->set_num(idx++, std::move(v));
     } else {
-      t->set(Value(idx++), eval_expr(*e.list[i], scope));
+      t->set_num(idx++, eval_expr(*e.list[i], frame));
     }
   }
   for (const auto& [k, v] : e.fields) {
-    Value key = eval_expr(*k, scope);
+    Value key = eval_expr(*k, frame);
     try {
-      t->set(key, eval_expr(*v, scope));
+      t->set(key, eval_expr(*v, frame));
     } catch (const LuaError& err) {
       runtime_error(e.line, err.what());
     }
@@ -360,19 +432,19 @@ double Interp::arith_operand(const Value& v, int line, const char* what) const {
   return *n;
 }
 
-Value Interp::eval_binary(const Expr& e, const std::shared_ptr<Scope>& scope) {
+Value Interp::eval_binary(const Expr& e, const FramePtr& frame) {
   // Short-circuit operators return one of their operand values, like Lua.
   if (e.bop == BinOp::And) {
-    Value a = eval_expr(*e.a, scope);
-    return a.truthy() ? eval_expr(*e.b, scope) : a;
+    Value a = eval_expr(*e.a, frame);
+    return a.truthy() ? eval_expr(*e.b, frame) : a;
   }
   if (e.bop == BinOp::Or) {
-    Value a = eval_expr(*e.a, scope);
-    return a.truthy() ? a : eval_expr(*e.b, scope);
+    Value a = eval_expr(*e.a, frame);
+    return a.truthy() ? a : eval_expr(*e.b, frame);
   }
 
-  Value a = eval_expr(*e.a, scope);
-  Value b = eval_expr(*e.b, scope);
+  Value a = eval_expr(*e.a, frame);
+  Value b = eval_expr(*e.b, frame);
 
   switch (e.bop) {
     case BinOp::Add:
@@ -438,8 +510,8 @@ Value Interp::eval_binary(const Expr& e, const std::shared_ptr<Scope>& scope) {
   }
 }
 
-Value Interp::eval_unary(const Expr& e, const std::shared_ptr<Scope>& scope) {
-  Value a = eval_expr(*e.a, scope);
+Value Interp::eval_unary(const Expr& e, const FramePtr& frame) {
+  Value a = eval_expr(*e.a, frame);
   switch (e.uop) {
     case UnOp::Neg: return Value(-arith_operand(a, e.line, "operand"));
     case UnOp::Not: return Value(!a.truthy());
@@ -452,26 +524,25 @@ Value Interp::eval_unary(const Expr& e, const std::shared_ptr<Scope>& scope) {
   return {};
 }
 
-std::vector<Value> Interp::eval_call(const Expr& e,
-                                     const std::shared_ptr<Scope>& scope) {
+std::vector<Value> Interp::eval_call(const Expr& e, const FramePtr& frame) {
   Value fn;
   std::vector<Value> args;
   if (e.kind == Expr::Kind::Method) {
-    Value obj = eval_expr(*e.a, scope);
+    Value obj = eval_expr(*e.a, frame);
     if (!obj.is_table())
       runtime_error(e.line, "attempt to call method on a " +
                                 std::string(obj.type_name()) + " value");
-    fn = obj.table()->get(Value(e.str));
+    fn = obj.table()->get_str(e.str);
     args.push_back(std::move(obj));
   } else {
-    fn = eval_expr(*e.a, scope);
+    fn = eval_expr(*e.a, frame);
   }
   for (std::size_t i = 0; i < e.list.size(); ++i) {
     if (i + 1 == e.list.size()) {
-      std::vector<Value> vals = eval_multi(*e.list[i], scope);
+      std::vector<Value> vals = eval_multi(*e.list[i], frame);
       for (Value& v : vals) args.push_back(std::move(v));
     } else {
-      args.push_back(eval_expr(*e.list[i], scope));
+      args.push_back(eval_expr(*e.list[i], frame));
     }
   }
   if (!fn.is_callable()) {
@@ -481,11 +552,7 @@ std::vector<Value> Interp::eval_call(const Expr& e,
     runtime_error(e.line, "attempt to call a " + std::string(fn.type_name()) +
                               " value" + hint);
   }
-  try {
-    return call_callable(fn.callable(), std::move(args));
-  } catch (const LuaError&) {
-    throw;
-  }
+  return call_callable(fn.callable(), std::move(args));
 }
 
 std::vector<Value> Interp::call_callable(const CallablePtr& fn,
@@ -502,11 +569,12 @@ std::vector<Value> Interp::call_callable(const CallablePtr& fn,
   if (fn->builtin) return fn->builtin(args, *this);
 
   const FunctionDef& def = *fn->def;
-  auto scope = std::make_shared<Scope>();
-  scope->parent = fn->closure;
-  for (std::size_t i = 0; i < def.params.size(); ++i)
-    scope->vars[def.params[i]] = i < args.size() ? args[i] : Value{};
-  ExecState st = exec_block(def.body, scope);
+  FramePtr f = acquire_frame(def.frame_slots, fn->closure);
+  const std::size_t nparams = def.params.size();  // params are slots 0..n-1
+  for (std::size_t i = 0; i < nparams && i < args.size(); ++i)
+    f->slots[i] = std::move(args[i]);
+  ExecState st = exec_stmts(def.body, f);
+  release_frame(f);
   if (st.flow == Flow::Return) return std::move(st.ret);
   return {};
 }

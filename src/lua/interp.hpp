@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -17,16 +16,46 @@
 /// this is what makes the paper's future-work item ("check the logic
 /// before injecting policies"; a `while 1` must not take the MDS down)
 /// implementable: a dry run with a finite budget terminates.
+///
+/// Compile-once pipeline: compile()/compile_expr() produce a
+/// CompiledChunk (parse + name resolution, done exactly once) that
+/// run(const CompiledChunk&) executes any number of times. Variable
+/// accesses are slot indices into a chain of Frames resolved at compile
+/// time (resolve.cpp); frames come from a per-Interp pool, so steady-state
+/// hook evaluation allocates nothing on the scope path.
 
 namespace mantle::lua {
 
-struct Scope {
-  std::unordered_map<std::string, Value> vars;
-  std::shared_ptr<Scope> parent;
-
-  /// Innermost binding of `name`, or nullptr if not a local.
-  Value* find(const std::string& name);
+/// Runtime scope frame: a flat slot vector plus the lexical parent link.
+/// Closures capture frames by reference (shared_ptr), exactly like the
+/// old per-block Scope maps — only the lookup is now an index.
+struct Frame {
+  std::vector<Value> slots;
+  std::shared_ptr<Frame> parent;
 };
+
+using FramePtr = std::shared_ptr<Frame>;
+
+/// A source string compiled exactly once (lex + parse + resolve). Cheap
+/// to copy (shared AST); safe to run on any Interp. On a syntax error
+/// `chunk` is null and `error` carries the message — running a failed
+/// CompiledChunk yields a failed RunResult with that message, so callers
+/// can treat compile and runtime errors uniformly.
+struct CompiledChunk {
+  ChunkPtr chunk;
+  std::string error;
+
+  bool ok() const { return chunk != nullptr; }
+};
+
+/// Compile a chunk (sequence of statements).
+CompiledChunk compile(const std::string& src,
+                      const std::string& chunk_name = "policy");
+
+/// Compile a single expression: wraps it as `return (<src>)` once, at
+/// compile time — the form Interp::eval() used to rebuild on every call.
+CompiledChunk compile_expr(const std::string& expr_src,
+                           const std::string& chunk_name = "expr");
 
 /// Outcome of loading/running a chunk.
 struct RunResult {
@@ -41,13 +70,18 @@ class Interp {
  public:
   Interp();
 
-  /// Parse + execute a chunk against the global environment. Errors
-  /// (syntax, runtime, budget exhaustion) are captured in the result —
+  /// Execute a pre-compiled chunk against the global environment. Errors
+  /// (compile, runtime, budget exhaustion) are captured in the result —
   /// they never escape as C++ exceptions, so a broken policy cannot
   /// unwind the MDS.
+  RunResult run(const CompiledChunk& chunk);
+
+  /// Parse + execute in one call (compiles every time; hot callers should
+  /// compile() once and reuse).
   RunResult run(const std::string& src, const std::string& chunk_name = "policy");
 
-  /// Evaluate a single expression and return its value.
+  /// Evaluate a single expression and return its value (compiles every
+  /// time; hot callers should compile_expr() once and reuse).
   RunResult eval(const std::string& expr_src, const std::string& chunk_name = "expr");
 
   /// Call a Lua value that must be callable.
@@ -92,27 +126,42 @@ class Interp {
 
   void step(int line);
 
-  ExecState exec_block(const Block& block, const std::shared_ptr<Scope>& scope);
-  ExecState exec_stmt(const Stmt& s, const std::shared_ptr<Scope>& scope);
+  /// Take a frame from the pool (or allocate), sized and parented.
+  FramePtr acquire_frame(std::size_t slots, FramePtr parent);
+  /// Return a frame to the pool if nothing else (no closure) captured it.
+  void release_frame(FramePtr& f);
 
-  Value eval_expr(const Expr& e, const std::shared_ptr<Scope>& scope);
-  std::vector<Value> eval_multi(const Expr& e, const std::shared_ptr<Scope>& scope);
+  /// Execute a block's statements in the given frame (no materialization).
+  ExecState exec_stmts(const Block& block, const FramePtr& frame);
+  /// Execute a block, materializing its own frame if the resolver said so.
+  ExecState exec_block(const Block& block, const FramePtr& frame);
+  ExecState exec_stmt(const Stmt& s, const FramePtr& frame);
+
+  /// The frame `hops` levels up the chain (0 = frame itself).
+  static Frame* walk(const FramePtr& frame, std::uint16_t hops) {
+    Frame* f = frame.get();
+    for (std::uint16_t h = hops; h != 0; --h) f = f->parent.get();
+    return f;
+  }
+
+  Value eval_expr(const Expr& e, const FramePtr& frame);
+  std::vector<Value> eval_multi(const Expr& e, const FramePtr& frame);
   std::vector<Value> eval_exprlist(const std::vector<ExprPtr>& list,
-                                   const std::shared_ptr<Scope>& scope);
+                                   const FramePtr& frame);
 
-  Value eval_binary(const Expr& e, const std::shared_ptr<Scope>& scope);
-  Value eval_unary(const Expr& e, const std::shared_ptr<Scope>& scope);
-  Value eval_table(const Expr& e, const std::shared_ptr<Scope>& scope);
-  std::vector<Value> eval_call(const Expr& e, const std::shared_ptr<Scope>& scope);
+  Value eval_binary(const Expr& e, const FramePtr& frame);
+  Value eval_unary(const Expr& e, const FramePtr& frame);
+  Value eval_table(const Expr& e, const FramePtr& frame);
+  std::vector<Value> eval_call(const Expr& e, const FramePtr& frame);
 
-  void assign(const Expr& target, Value v, const std::shared_ptr<Scope>& scope);
+  void assign(const Expr& target, Value v, const FramePtr& frame);
 
   double arith_operand(const Value& v, int line, const char* side) const;
 
   void install_stdlib();
 
   TablePtr globals_;
-  std::vector<ChunkPtr> chunks_;  // keeps ASTs alive for registered closures
+  std::vector<FramePtr> frame_pool_;
   std::uint64_t budget_ = 0;
   std::uint64_t steps_used_ = 0;
   std::string chunk_name_;

@@ -1,11 +1,30 @@
 #include "lua/parser.hpp"
 
+#include <cmath>
+
 #include "lua/lexer.hpp"
 #include "lua/value.hpp"
 
 namespace mantle::lua {
 
 namespace {
+
+/// Fold arithmetic on two numeric literals at parse time, replicating the
+/// interpreter's formulas exactly (including Lua's floored modulo and
+/// IEEE inf/NaN results) so folded and unfolded code compute identical
+/// values. Comparison/concat/logic operators are left to the runtime:
+/// they carry type-error and short-circuit semantics.
+bool fold_arith(BinOp op, double a, double b, double* out) {
+  switch (op) {
+    case BinOp::Add: *out = a + b; return true;
+    case BinOp::Sub: *out = a - b; return true;
+    case BinOp::Mul: *out = a * b; return true;
+    case BinOp::Div: *out = a / b; return true;
+    case BinOp::Mod: *out = a - std::floor(a / b) * b; return true;
+    case BinOp::Pow: *out = std::pow(a, b); return true;
+    default: return false;
+  }
+}
 
 struct BinPriority {
   int left;
@@ -202,6 +221,7 @@ class Parser {
     if (accept(Tok::Function)) {
       // `local function f ...` declares f before the body so it can recurse.
       auto s = make_stmt(Stmt::Kind::Local);
+      s->local_function = true;
       const std::string name = expect(Tok::Name).text;
       s->names.push_back(name);
       auto fe = make_expr(Expr::Kind::Function);
@@ -332,6 +352,11 @@ class Parser {
     take();
     u->uop = uop;
     u->a = parse_expr(kUnaryPriority);
+    if (uop == UnOp::Neg && u->a->kind == Expr::Kind::Number) {
+      u->kind = Expr::Kind::Number;
+      u->number = -u->a->number;
+      u->a.reset();
+    }
     left = std::move(u);
   }
 
@@ -345,6 +370,15 @@ class Parser {
       bin->bop = op;
       bin->b = parse_expr(pri.right);
       bin->a = std::move(left);
+      double folded = 0.0;
+      if (bin->a->kind == Expr::Kind::Number &&
+          bin->b->kind == Expr::Kind::Number &&
+          fold_arith(op, bin->a->number, bin->b->number, &folded)) {
+        bin->kind = Expr::Kind::Number;
+        bin->number = folded;
+        bin->a.reset();
+        bin->b.reset();
+      }
       left = std::move(bin);
     }
     return left;
@@ -504,7 +538,9 @@ class Parser {
 }  // namespace
 
 ChunkPtr parse(const std::string& src, const std::string& chunk_name) {
-  return Parser(tokenize(src, chunk_name), chunk_name).run();
+  ChunkPtr chunk = Parser(tokenize(src, chunk_name), chunk_name).run();
+  resolve_chunk(*chunk);
+  return chunk;
 }
 
 }  // namespace mantle::lua

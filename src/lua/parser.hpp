@@ -11,6 +11,12 @@
 
 namespace mantle::lua {
 
+/// Parse + resolve: the returned chunk has every Name bound to a frame
+/// slot or the globals table and every block annotated with its frame
+/// size (see resolve.cpp), so it is ready for slot-based execution.
 ChunkPtr parse(const std::string& src, const std::string& chunk_name);
+
+/// The resolution pass alone (parse() already calls it).
+void resolve_chunk(Chunk& chunk);
 
 }  // namespace mantle::lua

@@ -1,0 +1,333 @@
+#include "lua/parser.hpp"
+
+/// \file resolve.cpp
+/// Compile-time name resolution for luam: a single post-parse pass that
+/// binds every Name expression to either a (hops, slot) pair into the
+/// runtime frame chain or to the globals table, assigns dense slot
+/// indices to all locals, and decides which blocks need their own
+/// runtime frame. The tree-walker then indexes vectors instead of
+/// hashing strings on every variable access.
+///
+/// Frame layout rules:
+///   - The chunk top level and every function body are frames.
+///   - A block materializes its own frame (fresh per entry) only if a
+///     Function expression appears anywhere in its subtree — closures
+///     capture frames by reference, so per-iteration loop locals must
+///     live in per-iteration frames (the ClosuresShareLoopVariableScope
+///     contract). Closure-free blocks are merged into the enclosing
+///     frame with a watermark allocator: sibling blocks reuse slots.
+///   - Merged-block slots never leak stale values: a `local` statement
+///     always (re)writes its slots when executed, and any use before
+///     that execution lexically resolves to an outer binding instead.
+
+namespace mantle::lua {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pass 1: mark blocks whose subtree creates closures.
+// ---------------------------------------------------------------------------
+
+bool scan_block(Block& b);
+
+bool scan_expr(const ExprPtr& e) {
+  if (!e) return false;
+  bool found = false;
+  if (e->kind == Expr::Kind::Function) {
+    // The body still needs its own scan so nested blocks get marked.
+    scan_block(e->fn->body);
+    return true;
+  }
+  found |= scan_expr(e->a);
+  found |= scan_expr(e->b);
+  for (const ExprPtr& x : e->list) found |= scan_expr(x);
+  for (const auto& [k, v] : e->fields) {
+    found |= scan_expr(k);
+    found |= scan_expr(v);
+  }
+  return found;
+}
+
+bool scan_stmt(const StmtPtr& s) {
+  bool found = false;
+  for (const ExprPtr& e : s->lhs) found |= scan_expr(e);
+  for (const ExprPtr& e : s->rhs) found |= scan_expr(e);
+  found |= scan_expr(s->e1);
+  found |= scan_expr(s->e2);
+  found |= scan_expr(s->e3);
+  found |= scan_block(s->body);
+  for (auto& [cond, body] : s->clauses) {
+    found |= scan_expr(cond);
+    found |= scan_block(body);
+  }
+  if (s->else_body) found |= scan_block(*s->else_body);
+  return found;
+}
+
+bool scan_block(Block& b) {
+  bool found = false;
+  for (const StmtPtr& s : b.stmts) found |= scan_stmt(s);
+  b.contains_closure = found;
+  return found;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: slot assignment and name binding.
+// ---------------------------------------------------------------------------
+
+struct FrameCtx {
+  std::uint32_t watermark = 0;  // next free slot
+  std::uint32_t max_slots = 0;  // high watermark -> allocated frame size
+  int depth = 0;                // runtime frame-chain depth
+
+  std::uint32_t alloc() {
+    const std::uint32_t s = watermark++;
+    if (watermark > max_slots) max_slots = watermark;
+    return s;
+  }
+};
+
+struct Binding {
+  std::string name;
+  std::uint32_t slot;
+  int frame_depth;
+};
+
+class Resolver {
+ public:
+  void run(Chunk& chunk) {
+    FrameCtx top;
+    frames_.push_back(&top);
+    const std::size_t mark = bindings_.size();
+    resolve_stmts(chunk.block);
+    bindings_.resize(mark);
+    frames_.pop_back();
+    chunk.block.frame_slots = -1;  // merged into the chunk frame
+    chunk.frame_slots = top.max_slots;
+  }
+
+ private:
+  FrameCtx& frame() { return *frames_.back(); }
+
+  std::uint32_t declare(const std::string& name) {
+    const std::uint32_t slot = frame().alloc();
+    bindings_.push_back({name, slot, frame().depth});
+    return slot;
+  }
+
+  void bind_name(Expr& e) {
+    for (std::size_t i = bindings_.size(); i-- > 0;) {
+      if (bindings_[i].name != e.str) continue;
+      e.ref = Expr::RefKind::Local;
+      e.hops = static_cast<std::uint16_t>(frame().depth -
+                                          bindings_[i].frame_depth);
+      e.slot = bindings_[i].slot;
+      return;
+    }
+    e.ref = Expr::RefKind::Global;
+  }
+
+  /// Resolve a block in its own lexical scope. When `materialize` the
+  /// block gets a fresh FrameCtx (its own runtime frame); otherwise its
+  /// locals extend the current frame and the watermark rolls back on
+  /// exit so sibling blocks reuse the slots.
+  void resolve_block(Block& b) {
+    if (b.contains_closure) {
+      FrameCtx inner;
+      inner.depth = frame().depth + 1;
+      frames_.push_back(&inner);
+      const std::size_t mark = bindings_.size();
+      resolve_stmts(b);
+      bindings_.resize(mark);
+      frames_.pop_back();
+      b.frame_slots = static_cast<int>(inner.max_slots);
+    } else {
+      const std::uint32_t saved = frame().watermark;
+      const std::size_t mark = bindings_.size();
+      resolve_stmts(b);
+      bindings_.resize(mark);
+      frame().watermark = saved;
+      b.frame_slots = -1;
+    }
+  }
+
+  void resolve_stmts(Block& b) {
+    for (const StmtPtr& s : b.stmts) resolve_stmt(*s);
+  }
+
+  /// Shared body for NumFor/GenFor: the loop variables live inside the
+  /// body's scope (a fresh frame per iteration when closures capture
+  /// them), so declare them after entering the body scope.
+  void resolve_loop_body(Stmt& s) {
+    const auto declare_names = [&] {
+      s.slots.clear();
+      for (const std::string& n : s.names) s.slots.push_back(declare(n));
+    };
+    if (s.body.contains_closure) {
+      FrameCtx inner;
+      inner.depth = frame().depth + 1;
+      frames_.push_back(&inner);
+      const std::size_t mark = bindings_.size();
+      declare_names();
+      resolve_stmts(s.body);
+      bindings_.resize(mark);
+      frames_.pop_back();
+      s.body.frame_slots = static_cast<int>(inner.max_slots);
+    } else {
+      const std::uint32_t saved = frame().watermark;
+      const std::size_t mark = bindings_.size();
+      declare_names();
+      resolve_stmts(s.body);
+      bindings_.resize(mark);
+      frame().watermark = saved;
+      s.body.frame_slots = -1;
+    }
+  }
+
+  void resolve_stmt(Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::ExprStat:
+      case Stmt::Kind::Return:
+        for (const ExprPtr& e : s.rhs) resolve_expr(*e);
+        return;
+
+      case Stmt::Kind::Assign:
+        for (const ExprPtr& e : s.rhs) resolve_expr(*e);
+        for (const ExprPtr& e : s.lhs) resolve_expr(*e);
+        return;
+
+      case Stmt::Kind::Local:
+        if (s.local_function) {
+          // `local function f`: f is visible to its own body.
+          s.slots.clear();
+          for (const std::string& n : s.names) s.slots.push_back(declare(n));
+          for (const ExprPtr& e : s.rhs) resolve_expr(*e);
+        } else {
+          for (const ExprPtr& e : s.rhs) resolve_expr(*e);
+          s.slots.clear();
+          for (const std::string& n : s.names) s.slots.push_back(declare(n));
+        }
+        return;
+
+      case Stmt::Kind::If:
+        for (auto& [cond, body] : s.clauses) {
+          resolve_expr(*cond);
+          resolve_block(body);
+        }
+        if (s.else_body) resolve_block(*s.else_body);
+        return;
+
+      case Stmt::Kind::While:
+        resolve_expr(*s.e1);
+        resolve_block(s.body);
+        return;
+
+      case Stmt::Kind::Repeat: {
+        // `until` sees the body's locals (Lua scoping rule), so the
+        // condition resolves inside the body scope.
+        if (s.body.contains_closure) {
+          FrameCtx inner;
+          inner.depth = frame().depth + 1;
+          frames_.push_back(&inner);
+          const std::size_t mark = bindings_.size();
+          resolve_stmts(s.body);
+          resolve_expr(*s.e1);
+          bindings_.resize(mark);
+          frames_.pop_back();
+          s.body.frame_slots = static_cast<int>(inner.max_slots);
+        } else {
+          const std::uint32_t saved = frame().watermark;
+          const std::size_t mark = bindings_.size();
+          resolve_stmts(s.body);
+          resolve_expr(*s.e1);
+          bindings_.resize(mark);
+          frame().watermark = saved;
+          s.body.frame_slots = -1;
+        }
+        return;
+      }
+
+      case Stmt::Kind::NumFor:
+        resolve_expr(*s.e1);
+        resolve_expr(*s.e2);
+        if (s.e3) resolve_expr(*s.e3);
+        resolve_loop_body(s);
+        return;
+
+      case Stmt::Kind::GenFor:
+        for (const ExprPtr& e : s.rhs) resolve_expr(*e);
+        resolve_loop_body(s);
+        return;
+
+      case Stmt::Kind::Do:
+        resolve_block(s.body);
+        return;
+
+      case Stmt::Kind::Break:
+        return;
+    }
+  }
+
+  void resolve_function(FunctionDef& def) {
+    FrameCtx inner;
+    inner.depth = frame().depth + 1;
+    frames_.push_back(&inner);
+    const std::size_t mark = bindings_.size();
+    for (const std::string& p : def.params) declare(p);  // slots 0..n-1
+    resolve_stmts(def.body);
+    bindings_.resize(mark);
+    frames_.pop_back();
+    def.body.frame_slots = -1;  // merged into the call frame
+    def.frame_slots = inner.max_slots;
+  }
+
+  void resolve_expr(Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::Nil:
+      case Expr::Kind::True:
+      case Expr::Kind::False:
+      case Expr::Kind::Number:
+      case Expr::Kind::String:
+      case Expr::Kind::Vararg:
+        return;
+      case Expr::Kind::Name:
+        bind_name(e);
+        return;
+      case Expr::Kind::Function:
+        resolve_function(*e.fn);
+        return;
+      case Expr::Kind::Index:
+      case Expr::Kind::Binary:
+        resolve_expr(*e.a);
+        resolve_expr(*e.b);
+        return;
+      case Expr::Kind::Unary:
+        resolve_expr(*e.a);
+        return;
+      case Expr::Kind::Call:
+      case Expr::Kind::Method:
+        resolve_expr(*e.a);
+        for (const ExprPtr& x : e.list) resolve_expr(*x);
+        return;
+      case Expr::Kind::Table:
+        for (const ExprPtr& x : e.list) resolve_expr(*x);
+        for (auto& [k, v] : e.fields) {
+          resolve_expr(*k);
+          resolve_expr(*v);
+        }
+        return;
+    }
+  }
+
+  std::vector<FrameCtx*> frames_;
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace
+
+void resolve_chunk(Chunk& chunk) {
+  scan_block(chunk.block);
+  Resolver{}.run(chunk);
+}
+
+}  // namespace mantle::lua

@@ -77,24 +77,32 @@ Value Table::get(const Value& key) const {
 }
 
 void Table::set(const Value& key, Value value) {
-  if (key.is_number()) {
-    const double k = key.number();
-    if (std::isnan(k)) throw LuaError("table index is NaN");
-    if (value.is_nil())
-      num_keys.erase(k);
-    else
-      num_keys[k] = std::move(value);
-    return;
-  }
-  if (key.is_string()) {
-    if (value.is_nil())
-      str_keys.erase(key.str());
-    else
-      str_keys[key.str()] = std::move(value);
-    return;
-  }
+  if (key.is_number()) return set_num(key.number(), std::move(value));
+  if (key.is_string()) return set_str(key.str(), std::move(value));
   if (key.is_nil()) throw LuaError("table index is nil");
   throw LuaError(std::string("unsupported table key type: ") + key.type_name());
+}
+
+void Table::set_num(double key, Value value) {
+  if (std::isnan(key)) throw LuaError("table index is NaN");
+  if (value.is_nil()) {
+    if (num_keys.erase(key) != 0) ++erase_version;
+  } else {
+    num_keys[key] = std::move(value);
+  }
+}
+
+void Table::set_str(const std::string& key, Value value) {
+  if (value.is_nil()) {
+    if (str_keys.erase(key) != 0) ++erase_version;
+  } else {
+    str_keys[key] = std::move(value);
+  }
+}
+
+Value* Table::slot_num(double key) {
+  if (std::isnan(key)) throw LuaError("table index is NaN");
+  return &num_keys[key];
 }
 
 double Table::length() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -79,12 +80,42 @@ class Value {
 struct Table {
   std::map<double, Value> num_keys;
   std::map<std::string, Value> str_keys;
+  /// Bumped whenever a key node is erased (nil assignment or clear()).
+  /// std::map nodes are address-stable under insert, so a Value* obtained
+  /// from slot_str()/slot_num() stays valid exactly as long as this does
+  /// not change — the guard used by the Mantle hook-environment caches.
+  std::uint32_t erase_version = 0;
 
   /// Raw get; nil for missing keys. Throws LuaError for nil keys.
   Value get(const Value& key) const;
 
   /// Raw set; assigning nil erases the key.
   void set(const Value& key, Value value);
+
+  // -- Fast paths: typed keys by reference, no Value construction. --------
+  Value get_str(const std::string& key) const {
+    const auto it = str_keys.find(key);
+    return it == str_keys.end() ? Value{} : it->second;
+  }
+  Value get_num(double key) const {
+    const auto it = num_keys.find(key);
+    return it == num_keys.end() ? Value{} : it->second;
+  }
+  /// set() semantics with a typed key (nil erases; NaN numeric key throws).
+  void set_str(const std::string& key, Value value);
+  void set_num(double key, Value value);
+  /// Find-or-insert returning a stable pointer to the value cell. The cell
+  /// is nil-initialized on insert; callers must assign a real value before
+  /// the table is observed (a nil-valued cell would be visible to pairs()).
+  Value* slot_str(const std::string& key) { return &str_keys[key]; }
+  Value* slot_num(double key);
+
+  /// Erase everything (and invalidate outstanding slot pointers).
+  void clear() {
+    num_keys.clear();
+    str_keys.clear();
+    ++erase_version;
+  }
 
   /// `#t`: the border — largest n >= 1 with t[1..n] all non-nil.
   double length() const;
@@ -107,7 +138,7 @@ class LuaError : public std::exception {
 };
 
 struct FunctionDef;  // AST node, defined in ast.hpp
-struct Scope;
+struct Frame;        // runtime scope frame, defined in interp.hpp
 
 /// A callable: either a C++ builtin or a luam closure.
 struct Callable {
@@ -119,7 +150,7 @@ struct Callable {
   std::string name;
   Builtin builtin;                        // set for builtins
   const FunctionDef* def = nullptr;       // set for luam closures
-  std::shared_ptr<Scope> closure;         // captured environment
+  std::shared_ptr<Frame> closure;         // captured environment
   std::shared_ptr<const void> owner;      // pins the AST the def lives in
 };
 

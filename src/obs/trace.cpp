@@ -30,6 +30,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::TakeoverComplete: return "takeover-complete";
     case EventKind::ReplayComplete: return "replay-complete";
     case EventKind::FaultInjected: return "fault-injected";
+    case EventKind::PolicyRecompile: return "policy-recompile";
   }
   return "?";
 }

@@ -53,6 +53,7 @@ enum class EventKind : int {
   TakeoverComplete,
   ReplayComplete,
   FaultInjected,
+  PolicyRecompile,
 };
 
 const char* event_kind_name(EventKind kind);

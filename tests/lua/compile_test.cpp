@@ -1,0 +1,289 @@
+/// Tests for the compile-once pipeline: the CompiledChunk API, slot
+/// resolution (lexical scoping through the resolver), parse-time constant
+/// folding, and the reusable frame pool. The point of most of these is
+/// differential: a source run through compile()+run(CompiledChunk) must
+/// behave exactly like the legacy parse-per-call run(string) path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lua/interp.hpp"
+
+namespace mantle::lua {
+namespace {
+
+TEST(CompiledChunk, CompileOnceRunMany) {
+  Interp in;
+  const CompiledChunk cc = compile("x = (x or 0) + 1 return x");
+  ASSERT_TRUE(cc.ok()) << cc.error;
+  for (int i = 1; i <= 100; ++i) {
+    RunResult r = in.run(cc);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(r.first().number(), static_cast<double>(i));
+  }
+}
+
+TEST(CompiledChunk, SameChunkRunsOnDifferentInterps) {
+  const CompiledChunk cc = compile_expr("1 + n");
+  ASSERT_TRUE(cc.ok()) << cc.error;
+  Interp a;
+  Interp b;
+  a.set_global("n", Value(1.0));
+  b.set_global("n", Value(41.0));
+  EXPECT_DOUBLE_EQ(a.run(cc).first().number(), 2.0);
+  EXPECT_DOUBLE_EQ(b.run(cc).first().number(), 42.0);
+}
+
+TEST(CompiledChunk, CompileErrorIsCapturedNotThrown) {
+  const CompiledChunk cc = compile("return ((", "broken");
+  EXPECT_FALSE(cc.ok());
+  EXPECT_FALSE(cc.error.empty());
+  // Running the failed chunk yields a failed result with the same message.
+  Interp in;
+  RunResult r = in.run(cc);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, cc.error);
+  EXPECT_EQ(in.steps_used(), 0u);  // budget accounting resets regardless
+}
+
+TEST(CompiledChunk, ExprWrapperBuiltAtCompileTime) {
+  // compile_expr wraps once; the result is an ordinary chunk returning
+  // the expression value.
+  const CompiledChunk cc = compile_expr("2 * 21");
+  ASSERT_TRUE(cc.ok()) << cc.error;
+  Interp in;
+  EXPECT_DOUBLE_EQ(in.run(cc).first().number(), 42.0);
+  // Errors in the wrapped form carry the caller's chunk name.
+  const CompiledChunk bad = compile_expr("1 +", "myexpr");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("myexpr"), std::string::npos);
+}
+
+TEST(CompiledChunk, LegacyStringApiStillWorks) {
+  Interp in;
+  EXPECT_DOUBLE_EQ(in.run("return 6 * 7").first().number(), 42.0);
+  EXPECT_DOUBLE_EQ(in.eval("6 * 7").first().number(), 42.0);
+}
+
+// --- Constant folding ----------------------------------------------------
+// Folding happens in the parser, so these go through the normal run path;
+// what they pin down is that folded arithmetic matches the interpreter's
+// runtime formulas exactly (same mod/pow semantics, same negatives).
+
+TEST(ConstantFolding, FoldedArithmeticMatchesRuntime) {
+  Interp in;
+  // Each pair: literal-only expression (folded at parse time) vs the same
+  // computation fed through globals (evaluated at run time).
+  in.set_global("a", Value(7.0));
+  in.set_global("b", Value(-3.0));
+  const char* folded[] = {"return 7 + -3", "return 7 - -3", "return 7 * -3",
+                          "return 7 / -3", "return 7 % -3", "return 7 ^ -3"};
+  const char* runtime[] = {"return a + b", "return a - b", "return a * b",
+                           "return a / b", "return a % b", "return a ^ b"};
+  for (int i = 0; i < 6; ++i) {
+    RunResult f = in.run(folded[i]);
+    RunResult r = in.run(runtime[i]);
+    ASSERT_TRUE(f.ok) << f.error;
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(f.first().number(), r.first().number()) << folded[i];
+  }
+}
+
+TEST(ConstantFolding, FoldedExpressionsCostFewerSteps) {
+  Interp in;
+  in.run("return 1 + 2 + 3 + 4");  // literals: folds to a single constant
+  const std::uint64_t folded_steps = in.steps_used();
+  in.run("return a + a + a + a");  // names: full tree walk at runtime
+  const std::uint64_t runtime_steps = in.steps_used();
+  EXPECT_LT(folded_steps, runtime_steps);
+}
+
+TEST(ConstantFolding, DivisionByLiteralZeroFolds) {
+  Interp in;
+  RunResult r = in.run("return 1 / 0");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(std::isinf(r.first().number()));
+  r = in.run("return 0 / 0");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(std::isnan(r.first().number()));
+}
+
+TEST(ConstantFolding, ConcatAndComparisonsAreNotFolded) {
+  // Only arithmetic on two number literals folds; everything else keeps
+  // its runtime behavior (including error messages).
+  Interp in;
+  EXPECT_EQ(in.run("return 1 .. 2").first().str(), "12");
+  EXPECT_TRUE(in.run("return 1 < 2").first().boolean());
+}
+
+// --- Slot resolution -----------------------------------------------------
+
+TEST(SlotResolution, ShadowingInNestedBlocks) {
+  Interp in;
+  RunResult r = in.run(R"(
+    local x = 1
+    do
+      local x = 2
+      do local x = 3 end
+      y = x
+    end
+    return x, y
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.values[0].number(), 1.0);
+  EXPECT_DOUBLE_EQ(r.values[1].number(), 2.0);
+}
+
+TEST(SlotResolution, LocalInitializerSeesOuterBinding) {
+  // `local x = x` reads the *outer* x (global here), then shadows it.
+  Interp in;
+  in.set_global("x", Value(10.0));
+  RunResult r = in.run("local x = x + 1 return x");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 11.0);
+  EXPECT_DOUBLE_EQ(in.get_global("x").number(), 10.0);  // global untouched
+}
+
+TEST(SlotResolution, UseBeforeDeclarationIsGlobal) {
+  // A name read lexically before its `local` declaration resolves outward
+  // (to the global), even on later loop iterations when the slot holds a
+  // stale value from the previous pass.
+  Interp in;
+  in.set_global("x", Value(100.0));
+  RunResult r = in.run(R"(
+    sum = 0
+    for i = 1, 3 do
+      sum = sum + x      -- global x, never the local below
+      local x = i * 1000
+    end
+    return sum
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 300.0);
+}
+
+TEST(SlotResolution, LocalFunctionSeesItselfButPlainLocalDoesNot) {
+  Interp in;
+  // `local function f` is in scope inside its own body (recursion works).
+  RunResult r = in.run(R"(
+    local function fact(n)
+      if n <= 1 then return 1 end
+      return n * fact(n - 1)
+    end
+    return fact(5)
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 120.0);
+
+  // `local f = function() ... end` sees the *outer* f inside the body.
+  in.set_global("g", Value());  // make sure the global is nil
+  r = in.run(R"(
+    local g = function() return g end
+    return g()
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.first().is_nil());
+}
+
+TEST(SlotResolution, RepeatUntilSeesBodyLocals) {
+  Interp in;
+  RunResult r = in.run(R"(
+    n = 0
+    repeat
+      n = n + 1
+      local done = n >= 4
+    until done
+    return n
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 4.0);
+}
+
+TEST(SlotResolution, ClosuresCapturePerIterationVariables) {
+  // Loop bodies that create closures get a fresh frame per iteration, so
+  // each closure sees its own copy of the loop-body locals.
+  Interp in;
+  RunResult r = in.run(R"(
+    fns = {}
+    for i = 1, 3 do
+      local v = i * 10
+      fns[i] = function() return v end
+    end
+    return fns[1]() + fns[2]() + fns[3]()
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 60.0);
+}
+
+TEST(SlotResolution, ClosureCapturesSurviveChunkEnd) {
+  // The captured frame (and the function's AST) must outlive the run that
+  // created the closure.
+  Interp in;
+  {
+    const CompiledChunk cc =
+        compile("local secret = 42 getter = function() return secret end");
+    ASSERT_TRUE(cc.ok()) << cc.error;
+    ASSERT_TRUE(in.run(cc).ok);
+  }  // CompiledChunk destroyed here; the closure keeps the AST alive
+  RunResult r = in.run("return getter()");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 42.0);
+}
+
+TEST(SlotResolution, DeepLexicalNestingWalksHops) {
+  Interp in;
+  RunResult r = in.run(R"(
+    local a = 1
+    function outer()
+      local b = 2
+      local function middle()
+        local c = 4
+        local function inner() return a + b + c end
+        return inner()
+      end
+      return middle()
+    end
+    return outer()
+  )");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 7.0);
+}
+
+// --- Frame pool ----------------------------------------------------------
+
+TEST(FramePool, PooledFramesStartNil) {
+  // A function frame recycled from the pool must not leak values from a
+  // previous call: an unpassed parameter is nil, not whatever the slot
+  // held last time.
+  Interp in;
+  ASSERT_TRUE(in.run("function f(p, q) return q end").ok);
+  const Value f = in.get_global("f");
+  RunResult r = in.call(f, {Value(1.0), Value(99.0)});
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.first().number(), 99.0);
+  r = in.call(f, {Value(1.0)});  // q omitted: frame reused, slot must be nil
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.first().is_nil());
+}
+
+TEST(FramePool, RecursionAndLoopsReuseFrames) {
+  Interp in;
+  const CompiledChunk cc = compile(R"(
+    function fib(n)
+      if n < 2 then return n end
+      return fib(n - 1) + fib(n - 2)
+    end
+    acc = 0
+    for i = 1, 50 do acc = acc + fib(10) end
+    return acc
+  )");
+  ASSERT_TRUE(cc.ok()) << cc.error;
+  RunResult r = in.run(cc);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.first().number(), 50.0 * 55.0);
+}
+
+}  // namespace
+}  // namespace mantle::lua
