@@ -48,7 +48,8 @@ std::vector<double> OriginalBalancer::where(const ClusterView& view) {
   const double avg = view.total_load / static_cast<double>(view.size());
   const double my = view.loads[static_cast<std::size_t>(view.whoami)];
   const double excess = my - avg;
-  if (excess <= 0.0) return targets;
+  // NaN-safe: a corrupted mean must fail toward "export nothing".
+  if (!(excess > 0.0) || !std::isfinite(excess)) return targets;
   double total_deficit = 0.0;
   for (std::size_t i = 0; i < view.size(); ++i) {
     if (static_cast<MdsRank>(i) == view.whoami) continue;
@@ -185,6 +186,9 @@ std::vector<double> AdaptableBalancer::where(const ClusterView& view) {
   if (!self_in_view(view)) return targets;
   const double target_load =
       view.total_load / static_cast<double>(view.size());
+  // A non-finite mean (total_load overflowed, e.g. many near-DBL_MAX
+  // loads summed) would turn every deficit into an infinite export goal.
+  if (!std::isfinite(target_load)) return targets;
   for (std::size_t i = 0; i < view.size(); ++i) {
     if (static_cast<MdsRank>(i) == view.whoami) continue;
     if (view.loads[i] < target_load) targets[i] = target_load - view.loads[i];
@@ -212,6 +216,7 @@ std::vector<double> HashBalancer::where(const ClusterView& view) {
   std::vector<double> targets(view.size(), 0.0);
   if (!self_in_view(view)) return targets;
   const double avg = view.total_load / static_cast<double>(view.size());
+  if (!std::isfinite(avg)) return targets;  // overflowed/corrupted total
   for (std::size_t i = 0; i < view.size(); ++i) {
     if (static_cast<MdsRank>(i) == view.whoami) continue;
     if (view.loads[i] < avg) targets[i] = avg - view.loads[i];

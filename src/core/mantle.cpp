@@ -256,7 +256,20 @@ double MantleBalancer::eval_load_hook(Hook h, const std::string& script,
     return 0.0;
   }
   const Value v = r.first();
-  return v.to_number().value_or(0.0);
+  const double x = v.to_number().value_or(0.0);
+  // Load fractions get the same treatment as targets: a NaN/Inf metaload
+  // or mdsload would flow straight into migration sizing (candidate
+  // gathering sums metaloads; where() goals scale mdsloads), so clamp to
+  // 0 and count it instead of trusting the policy.
+  if (!std::isfinite(x) || x < 0.0) {
+    ++hook_errors_;
+    last_error_ = std::string(result_global) + ": non-finite or negative load";
+    if (sanitized_ != nullptr) sanitized_->inc();
+    MANTLE_LOG_WARN("mantle %s hook: clamping non-finite/negative load %g to 0",
+                    result_global, x);
+    return 0.0;
+  }
+  return x;
 }
 
 void MantleBalancer::attach_observability(obs::MetricsRegistry* metrics,
@@ -399,7 +412,9 @@ void MantleBalancer::bind_view(const ClusterView& view) {
   }
   for (std::size_t i = 0; i < n; ++i) {
     RowCache& rc = env.rows[i];
-    rc.update(view.mdss[i], view.loads[i], view.is_alive(i) ? 1.0 : 0.0);
+    // Defensive: a foreign/replayed view may carry fewer loads than ranks.
+    const double load = i < view.loads.size() ? view.loads[i] : 0.0;
+    rc.update(view.mdss[i], load, view.is_alive(i) ? 1.0 : 0.0);
     // Heal MDSs[i] if a policy overwrote the container cell itself.
     lua::Value& cell = *env.mdss_cells[i];
     if (!(cell.is_table() && cell.table() == rc.row)) cell = Value(rc.row);
@@ -424,16 +439,38 @@ void MantleBalancer::bind_view(const ClusterView& view) {
   lua_.set_global("MDSs", Value(env.mdss));
   lua_.set_global("targets", Value(env.targets));
   lua_.set_global("whoami", Value(static_cast<double>(view.whoami + 1)));
-  lua_.set_global("total", Value(view.total_load));
-  const HeartbeatPayload& me = view.mdss[static_cast<std::size_t>(view.whoami)];
-  lua_.set_global("authmetaload", Value(me.auth_metaload));
-  lua_.set_global("allmetaload", Value(me.all_metaload));
+  // A NaN/Inf total (possible in a hand-built or replayed view) is as
+  // dangerous as a NaN target: policies divide by it. Present 0 instead.
+  lua_.set_global("total", Value(std::isfinite(view.total_load)
+                                     ? view.total_load
+                                     : 0.0));
+  // `whoami` was validated by the caller (when()/where() refuse to run a
+  // hook for an out-of-range rank), but keep the access guarded anyway.
+  if (view.whoami >= 0 && static_cast<std::size_t>(view.whoami) < n) {
+    const HeartbeatPayload& me =
+        view.mdss[static_cast<std::size_t>(view.whoami)];
+    lua_.set_global("authmetaload", Value(me.auth_metaload));
+    lua_.set_global("allmetaload", Value(me.all_metaload));
+  } else {
+    lua_.set_global("authmetaload", Value(0.0));
+    lua_.set_global("allmetaload", Value(0.0));
+  }
 }
 
 bool MantleBalancer::when(const ClusterView& view) {
   pending_targets_.assign(view.size(), 0.0);
   when_filled_targets_ = false;
   if (policy_.when.empty()) return false;
+  // An empty view or an out-of-range whoami means the caller handed us a
+  // view this rank is not part of (seen from fuzzed and replayed inputs).
+  // There is nothing meaningful to evaluate: count it, decline to migrate.
+  if (view.size() == 0 || view.whoami < 0 ||
+      static_cast<std::size_t>(view.whoami) >= view.size()) {
+    ++hook_errors_;
+    last_error_ = "when: whoami outside the cluster view";
+    if (sanitized_ != nullptr) sanitized_->inc();
+    return false;
+  }
 
   bind_view(view);
   lua_.set_global("go", Value{});
@@ -487,6 +524,13 @@ std::vector<double> MantleBalancer::where(const ClusterView& view) {
   if (policy_.where.empty()) {
     // Combined when+where policy: reuse what the when hook computed.
     return pending_targets_;
+  }
+  if (view.size() == 0 || view.whoami < 0 ||
+      static_cast<std::size_t>(view.whoami) >= view.size()) {
+    ++hook_errors_;
+    last_error_ = "where: whoami outside the cluster view";
+    if (sanitized_ != nullptr) sanitized_->inc();
+    return std::vector<double>(view.size(), 0.0);
   }
   bind_view(view);
   lua::RunResult r = lua_.run(program(kWhere, policy_.where).chunk);

@@ -27,6 +27,41 @@ double need_number(const std::vector<Value>& args, std::size_t i,
   return *n;
 }
 
+/// A number argument that must convert to an integer: finite and within
+/// the exactly-representable range. `table.insert(t, -math.huge, v)` must
+/// raise, not spin forever shifting slots, and `%d` of NaN must raise,
+/// not hit undefined casts.
+long long need_int(const std::vector<Value>& args, std::size_t i,
+                   const char* fname) {
+  const double d = need_number(args, i, fname);
+  if (!std::isfinite(d) || std::fabs(d) > 9007199254740992.0)
+    throw LuaError(std::string("bad argument #") + std::to_string(i + 1) +
+                   " to '" + fname + "' (number has no integer representation)");
+  return static_cast<long long>(d);
+}
+
+/// Like need_int but tolerant of the `sub(s, 1, math.huge)` idiom:
+/// infinities clamp to the integer range instead of raising. NaN still
+/// raises — there is no sane clamp for it.
+long long need_int_clamped(const std::vector<Value>& args, std::size_t i,
+                           const char* fname) {
+  const double d = need_number(args, i, fname);
+  if (std::isnan(d))
+    throw LuaError(std::string("bad argument #") + std::to_string(i + 1) +
+                   " to '" + fname + "' (number has no integer representation)");
+  if (d >= 9007199254740992.0) return 9007199254740992LL;
+  if (d <= -9007199254740992.0) return -9007199254740992LL;
+  return static_cast<long long>(d);
+}
+
+/// Deterministic text for a non-finite double under any %f/%e/%g-family
+/// conversion: glibc prints "-nan" for negative NaNs and platforms vary
+/// in capitalization, either of which breaks byte-identical runs.
+const char* nonfinite_text(double d) {
+  if (std::isnan(d)) return "nan";
+  return d > 0 ? "inf" : "-inf";
+}
+
 std::string need_string(const std::vector<Value>& args, std::size_t i,
                         const char* fname) {
   const Value v = arg_or_nil(args, i);
@@ -106,7 +141,7 @@ std::string lua_format(const std::vector<Value>& args) {
       case 'i': {
         spec += "lld";
         std::snprintf(buf, sizeof(buf), spec.c_str(),
-                      static_cast<long long>(need_number(args, argi++, "format")));
+                      need_int(args, argi++, "format"));
         out += buf;
         break;
       }
@@ -115,9 +150,12 @@ std::string lua_format(const std::vector<Value>& args) {
       case 'X': {
         spec += "ll";
         spec += conv;
+        const long long v = need_int(args, argi++, "format");
+        if (v < 0)
+          throw LuaError("bad argument to 'format' (negative number for '%" +
+                         std::string(1, conv) + "')");
         std::snprintf(buf, sizeof(buf), spec.c_str(),
-                      static_cast<unsigned long long>(
-                          need_number(args, argi++, "format")));
+                      static_cast<unsigned long long>(v));
         out += buf;
         break;
       }
@@ -127,9 +165,15 @@ std::string lua_format(const std::vector<Value>& args) {
       case 'E':
       case 'g':
       case 'G': {
+        const double v = need_number(args, argi++, "format");
+        if (!std::isfinite(v)) {
+          // Pinned text, ignoring width/precision: "nan" / "inf" / "-inf"
+          // on every platform.
+          out += nonfinite_text(v);
+          break;
+        }
         spec += conv;
-        std::snprintf(buf, sizeof(buf), spec.c_str(),
-                      need_number(args, argi++, "format"));
+        std::snprintf(buf, sizeof(buf), spec.c_str(), v);
         out += buf;
         break;
       }
@@ -234,7 +278,7 @@ void Interp::install_stdlib() {
     if (sel.is_string() && sel.str() == "#")
       return std::vector<Value>{Value(static_cast<double>(args.size() - 1))};
     const auto n = sel.to_number();
-    if (!n || *n < 1.0)
+    if (!n || !(*n >= 1.0) || *n != std::floor(*n) || *n > 1e15)
       throw LuaError("bad argument #1 to 'select' (index out of range)");
     const auto start = static_cast<std::size_t>(*n);
     if (start >= args.size()) return std::vector<Value>{};
@@ -245,10 +289,18 @@ void Interp::install_stdlib() {
   // unpack(t [, i [, j]]) -> t[i], ..., t[j].
   set_function("unpack", [](std::vector<Value>& args, Interp&) {
     TablePtr t = need_table(args, 0, "unpack");
-    const double i = args.size() > 1 ? need_number(args, 1, "unpack") : 1.0;
-    const double j = args.size() > 2 ? need_number(args, 2, "unpack") : t->length();
+    const long long i =
+        args.size() > 1 ? need_int_clamped(args, 1, "unpack") : 1;
+    const long long j = args.size() > 2
+                            ? need_int_clamped(args, 2, "unpack")
+                            : static_cast<long long>(t->length());
+    // `unpack(t, 1, math.huge)` must raise, not allocate until the
+    // machine dies; the cap is far above any sane hook's needs.
+    if (j - i >= 1 << 20)
+      throw LuaError("too many results to unpack");
     std::vector<Value> out;
-    for (double k = i; k <= j; k += 1.0) out.push_back(t->get(Value(k)));
+    for (long long k = i; k <= j; ++k)
+      out.push_back(t->get(Value(static_cast<double>(k))));
     return out;
   });
 
@@ -309,8 +361,14 @@ void Interp::install_stdlib() {
             })));
   math->set(Value("fmod"),
             Value(make_builtin("fmod", [](std::vector<Value>& a, Interp&) {
-              return std::vector<Value>{Value(std::fmod(
-                  need_number(a, 0, "fmod"), need_number(a, 1, "fmod")))};
+              const double x = need_number(a, 0, "fmod");
+              const double y = need_number(a, 1, "fmod");
+              // fmod(x, 0) is a platform NaN in C; raise instead so a
+              // policy bug surfaces as a counted hook error, not as a NaN
+              // silently steering migration sizing.
+              if (y == 0.0)
+                throw LuaError("bad argument #2 to 'fmod' (zero)");
+              return std::vector<Value>{Value(std::fmod(x, y))};
             })));
   math->set(Value("max"), get_global("max"));
   math->set(Value("min"), get_global("min"));
@@ -346,10 +404,8 @@ void Interp::install_stdlib() {
            Value(make_builtin("sub", [](std::vector<Value>& a, Interp&) {
              const std::string s = need_string(a, 0, "sub");
              const auto n = static_cast<long long>(s.size());
-             long long i = static_cast<long long>(need_number(a, 1, "sub"));
-             long long j = a.size() > 2
-                               ? static_cast<long long>(need_number(a, 2, "sub"))
-                               : -1;
+             long long i = need_int_clamped(a, 1, "sub");
+             long long j = a.size() > 2 ? need_int_clamped(a, 2, "sub") : -1;
              if (i < 0) i = std::max<long long>(n + i + 1, 1);
              if (i < 1) i = 1;
              if (j < 0) j = n + j + 1;
@@ -373,7 +429,12 @@ void Interp::install_stdlib() {
   str->set(Value("rep"),
            Value(make_builtin("rep", [](std::vector<Value>& a, Interp&) {
              const std::string s = need_string(a, 0, "rep");
-             const auto n = static_cast<long long>(need_number(a, 1, "rep"));
+             const long long n = need_int_clamped(a, 1, "rep");
+             // Bound the result: a hook asking for gigabytes of string is
+             // a bug, and the budget meter cannot see inside builtins.
+             if (n > 0 && static_cast<unsigned long long>(n) * s.size() >
+                              (1ULL << 24))
+               throw LuaError("resulting string too large in 'rep'");
              std::string out;
              for (long long i = 0; i < n; ++i) out += s;
              return std::vector<Value>{Value(std::move(out))};
@@ -403,7 +464,13 @@ void Interp::install_stdlib() {
              if (a.size() <= 2) {
                t->set(Value(t->length() + 1.0), arg_or_nil(a, 1));
              } else {
-               const double pos = need_number(a, 1, "insert");
+               const double pos = static_cast<double>(need_int(a, 1, "insert"));
+               // Out-of-bounds positions raise (as in Lua 5.2+): a
+               // far-negative pos would otherwise walk the shift loop for
+               // billions of iterations the budget meter cannot see.
+               if (pos < 1.0 || pos > t->length() + 1.0)
+                 throw LuaError(
+                     "bad argument #2 to 'insert' (position out of bounds)");
                // Shift elements [pos, len] up by one.
                for (double i = t->length(); i >= pos; i -= 1.0)
                  t->set(Value(i + 1.0), t->get(Value(i)));
@@ -416,7 +483,12 @@ void Interp::install_stdlib() {
              TablePtr t = need_table(a, 0, "remove");
              const double len = t->length();
              if (len == 0.0) return std::vector<Value>{Value{}};
-             const double pos = a.size() > 1 ? need_number(a, 1, "remove") : len;
+             const double pos =
+                 a.size() > 1 ? static_cast<double>(need_int(a, 1, "remove"))
+                              : len;
+             if (pos < 1.0 || pos > len)
+               throw LuaError(
+                   "bad argument #2 to 'remove' (position out of bounds)");
              Value removed = t->get(Value(pos));
              for (double i = pos; i < len; i += 1.0)
                t->set(Value(i), t->get(Value(i + 1.0)));

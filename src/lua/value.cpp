@@ -32,7 +32,12 @@ std::string Value::to_display_string() const {
   if (is_bool()) return boolean() ? "true" : "false";
   if (is_number()) {
     const double d = number();
-    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    // Non-finite text is pinned: platforms disagree on "inf" vs "Inf" and
+    // negative NaNs print as "-nan" with glibc, which breaks byte-identical
+    // determinism of traces and fuzz corpora. NaN has no meaningful sign.
+    if (std::isnan(d)) return "nan";
+    if (std::isinf(d)) return d > 0 ? "inf" : "-inf";
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.0f", d);
       return buf;
@@ -49,18 +54,64 @@ std::string Value::to_display_string() const {
   return buf;
 }
 
+namespace {
+
+bool is_space_byte(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
 std::optional<double> Value::to_number() const {
   if (is_number()) return number();
-  if (is_string()) {
-    const char* s = str().c_str();
-    char* end = nullptr;
-    const double d = std::strtod(s, &end);
-    if (end == s) return std::nullopt;
-    while (*end == ' ' || *end == '\t') ++end;
-    if (*end != '\0') return std::nullopt;
-    return d;
+  if (!is_string()) return std::nullopt;
+  // String coercion, done deterministically instead of leaning on platform
+  // strtod quirks: leading/trailing whitespace (the full Lua set, newlines
+  // included) is skipped, and 0x/0X hex literals are parsed here — C
+  // libraries disagree on partial hex forms like "0x" and hex-float
+  // extensions, and a policy fuzzer needs one answer everywhere.
+  const std::string& raw = str();
+  std::size_t b = 0;
+  std::size_t e = raw.size();
+  while (b < e && is_space_byte(raw[b])) ++b;
+  while (e > b && is_space_byte(raw[e - 1])) --e;
+  if (b == e) return std::nullopt;
+  const std::string body = raw.substr(b, e - b);
+
+  std::size_t i = 0;
+  double sign = 1.0;
+  if (body[i] == '+' || body[i] == '-') {
+    if (body[i] == '-') sign = -1.0;
+    ++i;
   }
-  return std::nullopt;
+  if (i + 1 < body.size() && body[i] == '0' &&
+      (body[i + 1] == 'x' || body[i + 1] == 'X')) {
+    // Hex integer: one or more hex digits, nothing else (Lua 5.1 hex
+    // literals are integers; no hex floats).
+    i += 2;
+    if (i >= body.size()) return std::nullopt;
+    double v = 0.0;
+    for (; i < body.size(); ++i) {
+      const int d = hex_digit(body[i]);
+      if (d < 0) return std::nullopt;
+      v = v * 16.0 + d;
+    }
+    return sign * v;
+  }
+
+  const char* s = body.c_str();
+  char* end = nullptr;
+  const double d = std::strtod(s, &end);
+  if (end == s || *end != '\0') return std::nullopt;
+  return d;
 }
 
 Value Table::get(const Value& key) const {

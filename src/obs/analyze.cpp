@@ -167,8 +167,11 @@ class JsonReader {
 };
 
 bool event_kind_from_name(const std::string& name, EventKind& out) {
+  // Iterate through the *last* kind, not a hard-coded one: stopping at
+  // FaultInjected silently dropped policy-recompile events from parsed
+  // dumps (found by the shadow-replay round-trip tests).
   for (int k = static_cast<int>(EventKind::HeartbeatSent);
-       k <= static_cast<int>(EventKind::FaultInjected); ++k) {
+       k <= static_cast<int>(kLastEventKind); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == event_kind_name(kind)) {
       out = kind;

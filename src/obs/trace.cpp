@@ -31,6 +31,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::ReplayComplete: return "replay-complete";
     case EventKind::FaultInjected: return "fault-injected";
     case EventKind::PolicyRecompile: return "policy-recompile";
+    case EventKind::ShadowVerdict: return "shadow-verdict";
+    case EventKind::FuzzCrash: return "fuzz-crash";
   }
   return "?";
 }

@@ -54,7 +54,12 @@ enum class EventKind : int {
   ReplayComplete,
   FaultInjected,
   PolicyRecompile,
+  ShadowVerdict,  ///< shadow evaluation accepted/rejected a candidate policy
+  FuzzCrash,      ///< hook-input fuzzer found an invariant violation
+  // Keep kLastEventKind in sync when appending kinds.
 };
+
+inline constexpr EventKind kLastEventKind = EventKind::FuzzCrash;
 
 const char* event_kind_name(EventKind kind);
 

@@ -13,9 +13,12 @@
 ///   mantle-stat --dir obs-dumps --json         # one JSON document
 ///   mantle-stat --dir obs-dumps --write-reports  # <stem>.analysis.json
 ///   mantle-stat --scenario plain --seed 7      # no dumps needed
+///   mantle-stat --shadow run.trace.json my.policy   # injection gate
+///   mantle-stat --fuzz --seed 1 --iters 10000       # hook-input fuzzer
 ///
-/// Usage errors exit 64, missing/empty input 66 — distinct from small
-/// tripped-detector counts (capped at 63).
+/// Usage errors exit 64, shadow rejection 65, missing/empty input 66 —
+/// distinct from small tripped-detector/fuzz-failure counts (capped at
+/// 63).
 
 #include <algorithm>
 #include <cstdio>
@@ -30,20 +33,31 @@
 #include <vector>
 
 #include "balancers/builtin.hpp"
+#include "common/log.hpp"
+#include "core/mantle.hpp"
 #include "fault/fault.hpp"
 #include "obs/analyze.hpp"
+#include "safety/fuzz.hpp"
+#include "safety/shadow.hpp"
 #include "sim/scenario.hpp"
 #include "workloads/create_heavy.hpp"
 
 namespace {
 
-constexpr int kExitUsage = 64;    // EX_USAGE
-constexpr int kExitNoInput = 66;  // EX_NOINPUT
+constexpr int kExitUsage = 64;         // EX_USAGE
+constexpr int kExitShadowReject = 65;  // EX_DATAERR: policy must not inject
+constexpr int kExitNoInput = 66;       // EX_NOINPUT
 constexpr int kExitCheckCap = 63;
 
 struct Options {
   std::string dir;
   std::string scenario;
+  std::string shadow_trace;   // --shadow TRACE POLICY
+  std::string shadow_policy;
+  std::string repro_out;      // --repro-out FILE (fuzz reproducer corpus)
+  bool fuzz = false;
+  bool quick = false;
+  std::uint64_t iters = 0;  // 0 = default for the mode
   std::uint64_t seed = 7;
   bool json = false;
   bool check = false;
@@ -56,12 +70,25 @@ void usage(std::FILE* to) {
       to,
       "usage: mantle-stat [--dir DIR] [--scenario plain|faulty] [--seed N]\n"
       "                   [--tick-ms N] [--json] [--check] [--write-reports]\n"
+      "       mantle-stat --shadow TRACE POLICY [--json]\n"
+      "       mantle-stat --fuzz [--seed N] [--iters K] [--quick]\n"
+      "                   [--repro-out FILE] [--json]\n"
       "\n"
       "Analyzes Mantle observability dumps (<stem>.trace.json +\n"
       "<stem>.metrics.json pairs) or an inline scenario. DIR defaults to\n"
       "$MANTLE_OBS_DIR. With --check the exit code is the number of\n"
       "distinct tripped anomaly detectors (ping-pong, thrash,\n"
-      "stuck-export, dead-letter-leak).\n");
+      "stuck-export, dead-letter-leak).\n"
+      "\n"
+      "--shadow replays the recorded TRACE against POLICY (a builtin name:\n"
+      "original, greedy, greedy_even, fill_spill, adaptable; or a policy\n"
+      "file with [when]/[where]/... sections) in a sandbox and runs the\n"
+      "anomaly detectors over the decisions it would have made; exit 0 if\n"
+      "the policy may be injected, 65 if it must not be.\n"
+      "\n"
+      "--fuzz runs the deterministic hook-input fuzzer (default 10000\n"
+      "iterations; --quick = 800); the exit code is the number of shrunk\n"
+      "invariant violations, written to --repro-out if given.\n");
 }
 
 bool read_file(const std::string& path, std::string& out) {
@@ -142,6 +169,17 @@ int main(int argc, char** argv) {
       opt.dir = value("--dir");
     } else if (a == "--scenario") {
       opt.scenario = value("--scenario");
+    } else if (a == "--shadow") {
+      opt.shadow_trace = value("--shadow");
+      opt.shadow_policy = value("--shadow");
+    } else if (a == "--fuzz") {
+      opt.fuzz = true;
+    } else if (a == "--quick") {
+      opt.quick = true;
+    } else if (a == "--iters") {
+      opt.iters = std::strtoull(value("--iters"), nullptr, 10);
+    } else if (a == "--repro-out") {
+      opt.repro_out = value("--repro-out");
     } else if (a == "--seed") {
       opt.seed = std::strtoull(value("--seed"), nullptr, 10);
     } else if (a == "--tick-ms") {
@@ -161,6 +199,74 @@ int main(int argc, char** argv) {
       usage(stderr);
       return kExitUsage;
     }
+  }
+
+  if (opt.fuzz) {
+    // Hostile inputs are the whole point; per-case clamp warnings would
+    // drown the report.
+    mantle::Log::set_level(mantle::LogLevel::Error);
+    mantle::safety::FuzzConfig fcfg;
+    fcfg.seed = opt.seed;
+    fcfg.iters = opt.iters != 0 ? opt.iters
+                 : opt.quick   ? 800
+                               : 10000;
+    const mantle::safety::FuzzResult res = mantle::safety::run_fuzz(fcfg);
+    if (opt.json) {
+      std::printf("%s\n", res.to_json().c_str());
+    } else {
+      std::printf("fuzz: seed=%llu %llu iteration(s), %llu check(s), "
+                  "%zu failure(s)\n",
+                  static_cast<unsigned long long>(fcfg.seed),
+                  static_cast<unsigned long long>(res.iterations),
+                  static_cast<unsigned long long>(res.checks),
+                  res.failures.size());
+      if (!res.ok()) std::printf("%s", res.corpus().c_str());
+    }
+    if (!res.ok() && !opt.repro_out.empty()) {
+      std::ofstream out(opt.repro_out, std::ios::binary | std::ios::trunc);
+      out << res.corpus();
+    }
+    return std::min<int>(static_cast<int>(res.failures.size()), kExitCheckCap);
+  }
+
+  if (!opt.shadow_trace.empty()) {
+    mantle::Log::set_level(mantle::LogLevel::Error);
+    std::string trace_json;
+    if (!read_file(opt.shadow_trace, trace_json)) {
+      std::fprintf(stderr, "mantle-stat: cannot read %s\n",
+                   opt.shadow_trace.c_str());
+      return kExitNoInput;
+    }
+    const auto events = mantle::obs::parse_trace_json(trace_json);
+    if (events.empty()) {
+      std::fprintf(stderr, "mantle-stat: no events in %s\n",
+                   opt.shadow_trace.c_str());
+      return kExitNoInput;
+    }
+    mantle::core::MantlePolicy policy;
+    const std::string perr =
+        mantle::safety::load_policy(opt.shadow_policy, policy);
+    if (!perr.empty()) {
+      std::fprintf(stderr, "mantle-stat: %s\n", perr.c_str());
+      return kExitNoInput;
+    }
+    mantle::safety::ShadowConfig scfg;
+    scfg.analyze = opt.cfg;
+    const std::string verr =
+        mantle::core::validate_policy(policy, scfg.budget);
+    if (!verr.empty()) {
+      std::fprintf(stderr, "mantle-stat: policy rejected before replay: %s\n",
+                   verr.c_str());
+      return kExitShadowReject;
+    }
+    const mantle::safety::ShadowVerdict v =
+        mantle::safety::shadow_evaluate(events, policy, scfg);
+    if (opt.json)
+      std::printf("%s\n", v.to_json().c_str());
+    else
+      std::printf("== shadow %s vs %s ==\n%s", opt.shadow_policy.c_str(),
+                  opt.shadow_trace.c_str(), v.to_table().c_str());
+    return v.accepted ? 0 : kExitShadowReject;
   }
 
   std::vector<Analyzed> runs;
