@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/time.hpp"
+
+/// \file invariant.hpp
+/// Cluster-wide invariant checking for chaos runs. The checker is polled
+/// every balancer tick (and once more after quiesce) and asserts the
+/// properties the rest of the system silently relies on:
+///
+///   - auth-unique cover: every dirfrag of every directory reachable from
+///     the root is covered by exactly one innermost subtree root, and its
+///     own auth annotation agrees with that root's owner — no lost and no
+///     doubly-owned dirfrags across crash/takeover/replay;
+///   - frag partition: each directory's fragments tile the 32-bit
+///     dentry-hash space exactly (no gap, no overlap), however many
+///     splits, merges and replays happened;
+///   - migration liveness: both ends of every in-flight 2PC export are
+///     alive — a crash must tear down its migrations in the same event,
+///     so no orphaned export state is ever observable;
+///   - heartbeat monotonicity: the (epoch, sent_at) pair an observer
+///     stores per sender never regresses — exactly what
+///     ClusterConfig::hb_stale_guard enforces, so running with the guard
+///     disabled is the seeded bug the chaos shrinker must rediscover;
+///   - heat conservation: summed per-fragment popularity equals the
+///     root's hierarchically accumulated nested popularity for every op
+///     class (splits, merges, migrations and takeovers only move heat,
+///     never mint or lose it);
+///   - quiesce: once every rank has been restarted and the cluster
+///     drained, all ranks serve, no migration is open and the dead-letter
+///     queue has drained.
+///
+/// Violations are recorded locally and mirrored into the cluster's trace
+/// sink as InvariantViolation events, so a failing timeline shows *where*
+/// the property broke relative to the injected faults.
+
+namespace mantle::chaos {
+
+using mantle::Time;
+
+struct Violation {
+  Time at = 0;
+  std::string invariant;  ///< kebab-case id, e.g. "hb-regressed"
+  std::string detail;     ///< deterministic description of the breakage
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(cluster::MdsCluster& c);
+
+  /// Invariants that must hold at every balancer tick.
+  void check_tick(Time now);
+
+  /// End-of-run invariants: call after every rank has been restarted and
+  /// the engine drained. Runs the tick invariants too.
+  void check_quiesce(Time now);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Individual invariant evaluations performed (for reporting).
+  std::uint64_t checks() const { return checks_; }
+
+ private:
+  void fail(Time now, const char* invariant, std::string detail);
+  void check_cover(Time now);
+  void check_migrations(Time now);
+  void check_heartbeats(Time now);
+  void check_heat(Time now);
+
+  cluster::MdsCluster& c_;
+  std::vector<Violation> violations_;
+  std::uint64_t checks_ = 0;
+
+  /// Last (epoch, sent_at) seen per (observer, sender); regression = bug.
+  std::vector<std::vector<std::pair<std::uint64_t, Time>>> last_hb_;
+  /// Observer incarnations at the previous poll: when an observer itself
+  /// crashes its stored heartbeat table may legitimately reset, so its
+  /// baselines are forgiven once per crash.
+  std::vector<std::uint64_t> observer_epoch_;
+};
+
+}  // namespace mantle::chaos

@@ -51,6 +51,11 @@ struct HeartbeatPayload {
   double queue_len = 0.0;      // requests waiting at snapshot time
   double req_rate = 0.0;       // requests/s over the last interval
   Time sent_at = 0;
+  /// Sender incarnation (its crash count at send time). A heartbeat
+  /// duplicated or delayed from before a crash carries the old epoch and
+  /// is rejected on arrival instead of resurrecting pre-crash load state
+  /// after a successor has taken over (ClusterConfig::hb_stale_guard).
+  std::uint64_t epoch = 0;
 };
 
 /// The cluster as one MDS sees it when its balancer runs: its own fresh

@@ -83,6 +83,9 @@ ClusterMetrics::ClusterMetrics(obs::MetricsRegistry& reg)
                              "heartbeats lost to injected network faults")),
       hb_duplicated(reg.counter("mds_heartbeats_duplicated_total",
                                 "heartbeats duplicated by network faults")),
+      hb_stale_rejected(reg.counter(
+          "mds_heartbeats_stale_rejected_total",
+          "heartbeats refused by the stale-epoch/ordering guard")),
       when_true(reg.counter("bal_when_true_total",
                             "balancer ticks that decided to migrate")),
       when_false(reg.counter("bal_when_false_total",
@@ -93,6 +96,12 @@ ClusterMetrics::ClusterMetrics(obs::MetricsRegistry& reg)
                                     "2PC subtree exports committed")),
       exports_aborted(reg.counter("migrations_aborted_total",
                                   "2PC exports aborted by a crash")),
+      exports_retried(reg.counter("migrations_retried_total",
+                                  "aborted exports re-attempted after "
+                                  "exponential backoff")),
+      exports_timed_out(reg.counter("migrations_timed_out_total",
+                                    "stuck 2PC exports aborted by the "
+                                    "watchdog")),
       splits(reg.counter("dirfrag_splits_total",
                          "directory fragments split on size")),
       merges(reg.counter("dirfrag_merges_total",
@@ -129,6 +138,7 @@ MdsNode::MdsNode(MdsCluster& cluster, MdsRank rank, Rng rng)
   hb_.resize(static_cast<std::size_t>(cluster_.config().num_mds));
   for (std::size_t i = 0; i < hb_.size(); ++i)
     hb_[i].rank = static_cast<MdsRank>(i);
+  fresh_streak_.assign(hb_.size(), 0);
 }
 
 void MdsNode::on_arrival(Request r) {
@@ -138,8 +148,27 @@ void MdsNode::on_arrival(Request r) {
 
 void MdsNode::on_heartbeat(const HeartbeatPayload& hb) {
   if (hb.rank >= 0 && static_cast<std::size_t>(hb.rank) < hb_.size()) {
-    hb_[static_cast<std::size_t>(hb.rank)] = hb;
     const Time now = cluster_.engine().now();
+    if (cluster_.config().hb_stale_guard) {
+      // A payload from a dead incarnation (duplicated/delayed across the
+      // sender's crash) or one older than what is already stored must not
+      // overwrite fresher state: after a takeover it would resurrect the
+      // dead rank's pre-crash load in every survivor's view.
+      const HeartbeatPayload& cur = hb_[static_cast<std::size_t>(hb.rank)];
+      if (hb.epoch < cluster_.crash_epoch(hb.rank) || hb.epoch < cur.epoch ||
+          (hb.epoch == cur.epoch && hb.sent_at < cur.sent_at)) {
+        ++cluster_.hb_stale_rejected_;
+        cluster_.om_.hb_stale_rejected.inc();
+        cluster_.trace_.event(
+            now, obs::EventKind::HeartbeatStaleRejected, rank_, hb.rank, {},
+            {{"sent_at_us", static_cast<double>(hb.sent_at)},
+             {"epoch", static_cast<double>(hb.epoch)},
+             {"current_epoch",
+              static_cast<double>(cluster_.crash_epoch(hb.rank))}});
+        return;
+      }
+    }
+    hb_[static_cast<std::size_t>(hb.rank)] = hb;
     cluster_.om_.hb_received.inc();
     cluster_.trace_.event(
         now, obs::EventKind::HeartbeatReceived, rank_, hb.rank, {},
@@ -420,6 +449,7 @@ HeartbeatPayload MdsNode::measure() {
   HeartbeatPayload hb;
   hb.rank = rank_;
   hb.sent_at = now;
+  hb.epoch = cluster_.crash_epoch(rank_);
 
   const Time window = std::max<Time>(now - window_start_, 1);
   const double busy_frac =
@@ -500,14 +530,21 @@ void MdsNode::tick() {
     // Laggy-peer detection: a rank whose heartbeat is older than
     // laggy_factor balance intervals is presumed dead. Its stale load is
     // dropped from the view so policies neither count it toward the
-    // cluster total nor pick it as an importer.
+    // cluster total nor pick it as an importer. Readmission applies
+    // hysteresis: a peer that went laggy must look fresh for
+    // laggy_readmit_ticks consecutive ticks before it is trusted again,
+    // so a flapping rank does not oscillate in and out of the view (each
+    // oscillation would re-aim exports at it).
     view.alive.assign(hb_.size(), 1);
     if (cfg.laggy_factor > 0.0) {
       const Time window = static_cast<Time>(
           cfg.laggy_factor * static_cast<double>(cfg.bal_interval));
+      const int need = std::max(cfg.laggy_readmit_ticks, 1);
       for (std::size_t i = 0; i < hb_.size(); ++i) {
         if (static_cast<MdsRank>(i) == rank_) continue;
-        if (now - hb_[i].sent_at > window) view.alive[i] = 0;
+        const bool fresh = now - hb_[i].sent_at <= window;
+        fresh_streak_[i] = fresh ? fresh_streak_[i] + 1 : 0;
+        if (fresh_streak_[i] < need) view.alive[i] = 0;
       }
     }
     view.loads.resize(hb_.size());
@@ -596,7 +633,11 @@ void MdsNode::tick() {
 
 MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
     : engine_(engine), cfg_(cfg), rng_(cfg.seed), trace_(cfg.trace_capacity),
-      om_(metrics_) {
+      om_(metrics_),
+      // Independent backoff-jitter stream: derived from the seed but not
+      // forked from rng_, so arming export retries never shifts the event
+      // sequences of fault-free runs.
+      retry_rng_(cfg.seed ^ 0x9e3779b97f4a7c15ULL) {
   sessions_.resize(static_cast<std::size_t>(cfg_.num_mds));
   life_.resize(static_cast<std::size_t>(cfg_.num_mds), NodeLife::Up);
   crash_epoch_.resize(static_cast<std::size_t>(cfg_.num_mds), 0);
@@ -844,6 +885,15 @@ bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to,
   if (from == kNoRank || from == to) return false;
   if (!is_up(from) || !is_up(to)) return false;  // both 2PC ends must live
   if (is_frozen(frag)) return false;
+  // The symmetric overlap: exporting an *ancestor* of an in-flight export
+  // races its commit. Whichever 2PC finishes second flips only the auth
+  // annotations still matching its recorded exporter — annotations the
+  // other commit already rewrote — yet still installs itself in the
+  // subtree map, leaving map and annotations disagreeing forever. Real
+  // CephFS freezes the whole bounded region; we refuse until the inner
+  // migration settles.
+  for (const auto& [mid, m] : active_migrations_)
+    if (frag_contains(frag, m.rec.frag)) return false;
   if (ns_.frag(frag) == nullptr) return false;
 
   const Time now = engine_.now();
@@ -879,6 +929,22 @@ bool MdsCluster::export_subtree(const DirFragId& frag, MdsRank to,
                 {"eta_ms", static_cast<double>(duration) / kMsec}},
                span, parent_span);
   engine_.schedule_after(duration, [this, id]() { finish_migration(id); });
+  // Stuck-export watchdog: a migration still in flight after
+  // export_stuck_ticks balance intervals is wedged (in a real cluster:
+  // a hung importer, a lost 2PC message). Abort and roll back instead of
+  // leaving the subtree frozen — frozen subtrees park every request that
+  // touches them.
+  if (cfg_.export_stuck_ticks > 0) {
+    const Time deadline = static_cast<Time>(cfg_.export_stuck_ticks) *
+                          cfg_.bal_interval;
+    if (deadline <= duration) {
+      engine_.schedule_after(deadline, [this, id]() {
+        if (active_migrations_.count(id) == 0) return;
+        om_.exports_timed_out.inc();
+        abort_migration(id, kNoRank, "stuck-timeout");
+      });
+    }
+  }
   MANTLE_LOG_INFO("migration start %s: mds%d -> mds%d (%zu entries)",
                   frag.str().c_str(), from, to, entries);
   return true;
@@ -895,7 +961,13 @@ void MdsCluster::finish_migration(std::size_t idx) {
   const MdsRank to = mig.rec.to;
 
   // Flip authority on the exported fragment and everything nested under it
-  // that the exporter owned (foreign bounds keep their owners).
+  // that the exporter owned (foreign bounds keep their owners). Exporter-
+  // owned subtree roots the walk passes through stop being roots: their
+  // region is annotated `to` now and the exported frag covers it. Roots
+  // the walk does NOT reach — nested islands beyond a foreign bound —
+  // keep their entries and their annotations; ancestry alone must not
+  // absorb them, since the migration never touched them.
+  std::vector<DirFragId> absorbed;
   DirFrag* rootf = ns_.frag(mig.rec.frag);
   if (rootf != nullptr) {
     std::vector<DirFragId> stack{mig.rec.frag};
@@ -905,6 +977,8 @@ void MdsCluster::finish_migration(std::size_t idx) {
       DirFrag* f = ns_.frag(cur);
       if (f == nullptr || f->auth != from) continue;
       f->auth = to;
+      if (cur != mig.rec.frag && subtree_roots_.count(cur) != 0)
+        absorbed.push_back(cur);
       // The importer has to fetch the dirfrag object from RADOS.
       ns_.record_op(cur, MetaOp::FETCH, now);
       for (const auto& [name, ino] : f->dentries) {
@@ -916,15 +990,8 @@ void MdsCluster::finish_migration(std::size_t idx) {
   }
 
   // Update the subtree map: the exported frag becomes a bound owned by the
-  // importer; importer-owned roots strictly inside are absorbed.
-  for (auto rit = subtree_roots_.begin(); rit != subtree_roots_.end();) {
-    if (rit->first != mig.rec.frag && rit->second == to &&
-        frag_contains(mig.rec.frag, rit->first)) {
-      rit = subtree_roots_.erase(rit);
-    } else {
-      ++rit;
-    }
-  }
+  // importer, absorbing exactly the inner roots the flip traversed.
+  for (const DirFragId& r : absorbed) subtree_roots_.erase(r);
   subtree_roots_[mig.rec.frag] = to;
 
   journals_[static_cast<std::size_t>(from)]->append("EExportCommit " +
@@ -938,6 +1005,7 @@ void MdsCluster::finish_migration(std::size_t idx) {
   mig.rec.sessions_flushed = flush_client_sessions(from, to);
 
   mig.rec.finished = now;
+  export_retry_attempts_.erase(mig.rec.frag);  // made it; reset the budget
   om_.exports_committed.inc();
   om_.migration_entries.observe(static_cast<double>(mig.rec.entries));
   om_.migration_duration_ms.observe(
@@ -964,6 +1032,23 @@ void MdsCluster::finish_migration(std::size_t idx) {
 bool MdsCluster::is_up(MdsRank rank) const {
   return rank >= 0 && rank < num_mds() &&
          life_[static_cast<std::size_t>(rank)] == NodeLife::Up;
+}
+
+bool MdsCluster::is_replaying(MdsRank rank) const {
+  return rank >= 0 && rank < num_mds() &&
+         life_[static_cast<std::size_t>(rank)] == NodeLife::Replaying;
+}
+
+std::uint64_t MdsCluster::crash_epoch(MdsRank rank) const {
+  if (rank < 0 || rank >= num_mds()) return 0;
+  return crash_epoch_[static_cast<std::size_t>(rank)];
+}
+
+std::vector<MigrationRecord> MdsCluster::active_migration_records() const {
+  std::vector<MigrationRecord> out;
+  out.reserve(active_migrations_.size());
+  for (const auto& [id, mig] : active_migrations_) out.push_back(mig.rec);
+  return out;
 }
 
 int MdsCluster::num_up() const {
@@ -1032,14 +1117,22 @@ void MdsCluster::log_recovery(RecoveryEvent::Kind kind, MdsRank rank,
 }
 
 void MdsCluster::route_or_park(const DirFragId& frag, Request r) {
-  const MdsRank auth = auth_of(frag);
+  // The addressed fragment can split or merge away while the request is
+  // in flight (forward latency, migration freeze, dead-letter parking all
+  // open a window). A stale frag id resolves to no authority; re-resolve
+  // against the current fragmentation instead of parking a request that
+  // nothing would ever un-park.
+  DirFragId target = frag;
+  if (ns_.frag(target) == nullptr && ns_.dir(r.dir) != nullptr)
+    target = ns_.frag_of(r.dir, r.name);
+  const MdsRank auth = auth_of(target);
   if (is_up(auth)) {
     route_to(auth, std::move(r));
   } else {
     om_.dead_letter_parked.inc();
     trace_.event(engine_.now(), obs::EventKind::DeadLetterParked, auth, -1,
-                 frag.str(), {{"req", static_cast<double>(r.id)}}, r.span);
-    dead_letter_.emplace_back(frag, std::move(r));
+                 target.str(), {{"req", static_cast<double>(r.id)}}, r.span);
+    dead_letter_.emplace_back(target, std::move(r));
   }
 }
 
@@ -1060,44 +1153,108 @@ void MdsCluster::flush_dead_letters() {
   }
 }
 
-void MdsCluster::abort_migrations_of(MdsRank dead) {
+void MdsCluster::abort_migration(std::size_t id, MdsRank dead,
+                                 const char* reason) {
+  const auto it = active_migrations_.find(id);
+  if (it == active_migrations_.end()) return;
+  ActiveMigration mig = std::move(it->second);
+  active_migrations_.erase(it);
   const Time now = engine_.now();
-  for (auto it = active_migrations_.begin(); it != active_migrations_.end();) {
-    if (it->second.rec.from != dead && it->second.rec.to != dead) {
-      ++it;
-      continue;
-    }
-    ActiveMigration mig = std::move(it->second);
-    it = active_migrations_.erase(it);
 
-    // Rollback is cheap because authority only flips at commit: the
-    // exporter (if alive) still owns the subtree and just journals the
-    // abort; a dead exporter's subtree is handled by takeover/replay.
+  // Rollback is cheap because authority only flips at commit: the
+  // exporter (if alive) still owns the subtree and just journals the
+  // abort; a dead exporter's subtree is handled by takeover/replay.
+  if (dead == kNoRank) {
+    // Watchdog abort: both ends live; both journal their abort.
+    journals_[static_cast<std::size_t>(mig.rec.from)]->append(
+        "EExportAbort " + mig.rec.frag.str() + " reason=" + reason);
+    journals_[static_cast<std::size_t>(mig.rec.to)]->append(
+        "EImportAbort " + mig.rec.frag.str() + " reason=" + reason);
+    log_recovery(RecoveryEvent::Kind::MigrationAborted, mig.rec.from,
+                 mig.rec.to, mig.deferred.size(), mig.span);
+  } else {
     const MdsRank survivor = mig.rec.from == dead ? mig.rec.to : mig.rec.from;
     if (is_up(survivor)) {
       journals_[static_cast<std::size_t>(survivor)]->append(
           (survivor == mig.rec.from ? "EExportAbort " : "EImportAbort ") +
           mig.rec.frag.str() + " peer=" + std::to_string(dead));
     }
-    mig.rec.finished = now;
     log_recovery(RecoveryEvent::Kind::MigrationAborted, dead, survivor,
                  mig.deferred.size(), mig.span);
-    MANTLE_LOG_INFO("migration abort %s: mds%d -> mds%d (mds%d died, "
-                    "%zu deferred re-injected)",
-                    mig.rec.frag.str().c_str(), mig.rec.from, mig.rec.to, dead,
-                    mig.deferred.size());
-    aborted_migrations_.push_back(mig.rec);
-
-    // Requests parked on the frozen subtree thaw toward its (unchanged)
-    // authority — or the dead-letter queue if the exporter is the casualty.
-    for (Request& r : mig.deferred) route_or_park(mig.rec.frag, std::move(r));
+    // A crash-aborted export is worth re-attempting once the dust
+    // settles: the load imbalance that motivated it is still there.
+    if (is_up(mig.rec.from) || is_replaying(mig.rec.from))
+      schedule_export_retry(mig.rec.frag, mig.rec.to);
   }
+  mig.rec.finished = now;
+  MANTLE_LOG_INFO("migration abort %s: mds%d -> mds%d (%s, "
+                  "%zu deferred re-injected)",
+                  mig.rec.frag.str().c_str(), mig.rec.from, mig.rec.to, reason,
+                  mig.deferred.size());
+  aborted_migrations_.push_back(mig.rec);
+
+  // Requests parked on the frozen subtree thaw toward its (unchanged)
+  // authority — or the dead-letter queue if the exporter is the casualty.
+  for (Request& r : mig.deferred) route_or_park(mig.rec.frag, std::move(r));
+}
+
+void MdsCluster::abort_migrations_of(MdsRank dead) {
+  std::vector<std::size_t> doomed;
+  for (const auto& [id, mig] : active_migrations_)
+    if (mig.rec.from == dead || mig.rec.to == dead) doomed.push_back(id);
+  for (const std::size_t id : doomed) abort_migration(id, dead, "peer-died");
+}
+
+void MdsCluster::schedule_export_retry(const DirFragId& frag, MdsRank to) {
+  if (cfg_.export_retry_max <= 0) return;
+  int& attempts = export_retry_attempts_[frag];
+  if (attempts >= cfg_.export_retry_max) {
+    export_retry_attempts_.erase(frag);
+    return;
+  }
+  const int attempt = attempts++;
+  // Exponential backoff with deterministic jitter (+/- 25%): retries of
+  // distinct subtrees de-synchronize instead of slamming the recovering
+  // peer in one burst, and the same seed always yields the same delays.
+  const Time base = std::max<Time>(cfg_.export_retry_base, 1);
+  Time delay = base;
+  for (int i = 0; i < attempt && delay < cfg_.export_retry_cap; ++i)
+    delay *= 2;
+  delay = std::min(delay, std::max<Time>(cfg_.export_retry_cap, base));
+  const double jitter = 0.75 + 0.5 * retry_rng_.next_double();
+  delay = std::max<Time>(static_cast<Time>(
+                             static_cast<double>(delay) * jitter),
+                         1);
+  om_.exports_retried.inc();
+  trace_.event(engine_.now(), obs::EventKind::ExportRetry, auth_of(frag), to,
+               frag.str(),
+               {{"attempt", static_cast<double>(attempt + 1)},
+                {"delay_ms", static_cast<double>(delay) / kMsec}});
+  MANTLE_LOG_INFO("export retry %d/%d for %s -> mds%d in %lld us",
+                  attempt + 1, cfg_.export_retry_max, frag.str().c_str(), to,
+                  static_cast<long long>(delay));
+  engine_.schedule_after(delay, [this, frag, to]() {
+    // Conditions are re-checked inside export_subtree: the exporter may
+    // have lost the subtree, either end may be down, the frag may be
+    // frozen by a newer migration. A refused retry re-arms until the
+    // attempt budget is spent.
+    if (!export_subtree(frag, to)) {
+      const MdsRank from = auth_of(frag);
+      if (from != kNoRank && from != to && ns_.frag(frag) != nullptr)
+        schedule_export_retry(frag, to);
+      else
+        export_retry_attempts_.erase(frag);
+    }
+  });
 }
 
 bool MdsCluster::crash_mds(MdsRank rank) {
   if (rank < 0 || rank >= num_mds()) return false;
   const auto idx = static_cast<std::size_t>(rank);
-  if (life_[idx] != NodeLife::Up) return false;
+  // A rank can die while Up (serving) or while Replaying (killed again in
+  // the middle of recovering from its previous crash — the back-to-back
+  // crash case). Only an already-down rank cannot crash further.
+  if (life_[idx] == NodeLife::Down) return false;
 
   const Time now = engine_.now();
   life_[idx] = NodeLife::Down;

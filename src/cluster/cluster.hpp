@@ -105,6 +105,32 @@ struct ClusterConfig {
   /// replaying its journal. When false the subtrees stay with the dead
   /// rank and only become serviceable once it restarts and replays.
   bool takeover_on_crash = true;
+  /// Reject heartbeats that would regress a peer's state: payloads whose
+  /// epoch predates the sender's last crash (duplicated/delayed from a
+  /// dead incarnation) or whose sent_at is older than what is already
+  /// stored (out-of-order delivery under injected delays). Disabling this
+  /// reintroduces the stale-epoch bug the chaos shrinker is seeded with.
+  bool hb_stale_guard = true;
+  /// Bounded retry for 2PC exports aborted by a peer crash: up to
+  /// export_retry_max re-attempts per subtree, delayed by exponential
+  /// backoff (base * 2^attempt, capped, +/- deterministic jitter).
+  /// 0 disables retries.
+  int export_retry_max = 3;
+  Time export_retry_base = 500 * kMsec;
+  Time export_retry_cap = 10 * kSec;
+  /// Watchdog on in-flight 2PC exports: a migration still active after
+  /// this many balance intervals is aborted and rolled back instead of
+  /// freezing its subtree forever. 0 disables the watchdog. The default
+  /// is far above any simulated migration duration, so it only fires on
+  /// genuinely wedged exports.
+  int export_stuck_ticks = 30;
+  /// Readmission hysteresis for laggy peers: a rank that was excluded
+  /// from the ClusterView must look fresh for this many consecutive
+  /// balancer ticks before it is trusted as an export target again, so a
+  /// flapping peer does not oscillate in and out of the view. 1 =
+  /// readmit on the first fresh observation (the pre-hysteresis
+  /// behavior).
+  int laggy_readmit_ticks = 1;
 
   // -- observability -----------------------------------------------------------
   /// Bound on the cluster's trace sink. Overflowing events are counted in
@@ -222,11 +248,14 @@ struct ClusterMetrics {
   obs::Counter& hb_received;
   obs::Counter& hb_dropped;
   obs::Counter& hb_duplicated;
+  obs::Counter& hb_stale_rejected;
   obs::Counter& when_true;
   obs::Counter& when_false;
   obs::Counter& exports_started;
   obs::Counter& exports_committed;
   obs::Counter& exports_aborted;
+  obs::Counter& exports_retried;
+  obs::Counter& exports_timed_out;
   obs::Counter& splits;
   obs::Counter& merges;
   obs::Counter& dead_letter_parked;
@@ -265,6 +294,11 @@ class MdsNode {
   MdsStats& stats() { return stats_; }
   std::size_t queue_length() const { return queue_.size(); }
 
+  /// Last heartbeat applied from each rank (index = rank; [rank()] is
+  /// this node's own latest measurement). Read by the chaos invariant
+  /// checker to assert per-sender (epoch, sent_at) never regresses.
+  const std::vector<HeartbeatPayload>& heartbeats() const { return hb_; }
+
   /// Fresh metrics snapshot (also what goes into this node's heartbeat).
   HeartbeatPayload measure();
 
@@ -297,6 +331,9 @@ class MdsNode {
   std::uint64_t done_in_window_ = 0;
 
   std::vector<HeartbeatPayload> hb_;  // last received from each rank
+  /// Consecutive ticks each peer has looked fresh (non-laggy); a peer
+  /// must reach laggy_readmit_ticks before it is trusted again.
+  std::vector<int> fresh_streak_;
   std::unique_ptr<Balancer> balancer_;
   MdsStats stats_;
   mantle::DecayCounter forward_pop_;  // decayed load from misdirected reqs
@@ -354,7 +391,14 @@ class MdsCluster {
   // -- Liveness / fault handling ----------------------------------------------
   /// Is this rank serving? (false while down or replaying its journal).
   bool is_up(MdsRank rank) const;
+  /// Is this rank mid-replay (restarted, not yet serving)?
+  bool is_replaying(MdsRank rank) const;
   int num_up() const;
+
+  /// How many times this rank has crashed (its incarnation number). New
+  /// heartbeats carry it; the stale guard rejects payloads from older
+  /// incarnations.
+  std::uint64_t crash_epoch(MdsRank rank) const;
 
   /// Lowest up rank != avoid (else lowest up rank, else 0): where a client
   /// re-aims a timed-out request, standing in for the MDSMap it would get
@@ -446,6 +490,15 @@ class MdsCluster {
                                                  Balancer& policy, Time now);
 
   // -- Introspection -----------------------------------------------------------
+  /// In-flight 2PC exports (records with finished == 0). The chaos
+  /// invariant checker asserts both ends of every active migration are
+  /// alive (no orphaned export state survives a crash).
+  std::vector<MigrationRecord> active_migration_records() const;
+  std::size_t active_migration_count() const { return active_migrations_.size(); }
+  /// Requests currently parked on down subtrees (must drain at quiesce).
+  std::size_t dead_letter_size() const { return dead_letter_.size(); }
+  /// Heartbeats rejected by the stale-epoch/ordering guard.
+  std::uint64_t stale_heartbeats_rejected() const { return hb_stale_rejected_; }
   const std::vector<MigrationRecord>& migrations() const { return migrations_; }
   /// Exports that aborted mid-2PC because one end died (finished = abort time).
   const std::vector<MigrationRecord>& aborted_migrations() const {
@@ -479,6 +532,14 @@ class MdsCluster {
   void finish_migration(std::size_t idx);
   void schedule_tick(MdsRank rank);
   void abort_migrations_of(MdsRank dead);
+  /// Tear down one active migration (2PC abort): journal the abort on the
+  /// surviving end(s), re-route deferred requests, log the recovery
+  /// event. `dead` = kNoRank for a watchdog (stuck-export) abort where
+  /// both ends are still alive.
+  void abort_migration(std::size_t id, MdsRank dead, const char* reason);
+  /// Re-attempt an aborted export after exponential backoff, bounded by
+  /// export_retry_max per subtree.
+  void schedule_export_retry(const DirFragId& frag, MdsRank to);
   /// Flip every frag of `rank`'s subtrees (and the subtree map) to `to`,
   /// charging FETCH heat on the adopter. Used by takeover.
   void adopt_subtrees(MdsRank from, MdsRank to);
@@ -510,6 +571,12 @@ class MdsCluster {
   std::size_t next_migration_id_ = 0;
   std::vector<MigrationRecord> migrations_;
   std::vector<MigrationRecord> aborted_migrations_;
+  /// Crash-abort retry accounting per subtree (cleared on commit). The
+  /// backoff jitter draws from a dedicated stream derived from the seed,
+  /// so arming retries never perturbs the main rng's event sequence.
+  std::map<DirFragId, int> export_retry_attempts_;
+  Rng retry_rng_;
+  std::uint64_t hb_stale_rejected_ = 0;
 
   std::vector<std::set<int>> sessions_;       // per-rank client sessions
   std::map<int, Time> client_stall_until_;    // session-flush penalties

@@ -28,6 +28,14 @@ void set_time_us(Time& slot, const mantle::Config& cfg, const char* key) {
      c.field = static_cast<std::size_t>(                               \
          v.get_int(k, static_cast<long long>(c.field)));               \
    }}
+#define MANTLE_INT_KEY(key, field)                                     \
+  {key, [](ClusterConfig& c, const mantle::Config& v, const char* k) { \
+     c.field = static_cast<int>(v.get_int(k, c.field));                \
+   }}
+#define MANTLE_BOOL_KEY(key, field)                                    \
+  {key, [](ClusterConfig& c, const mantle::Config& v, const char* k) { \
+     c.field = v.get_bool(k, c.field);                                 \
+   }}
 
 const std::vector<KeyBinding>& bindings() {
   static const std::vector<KeyBinding> b = {
@@ -46,6 +54,17 @@ const std::vector<KeyBinding>& bindings() {
       MANTLE_SIZE_KEY("mds_bal_merge_size", merge_size),
       MANTLE_DOUBLE_KEY("mds_bal_need_min", need_min_factor),
       MANTLE_DOUBLE_KEY("mds_bal_min_rebalance", bal_min_load),
+
+      // Graceful-degradation hardening (docs/ROBUSTNESS.md). Defaults:
+      // retry_max=3, base=500ms, cap=10s, stuck=30 ticks, guard=on,
+      // readmit=1 tick (no hysteresis).
+      MANTLE_INT_KEY("mds_bal_export_retry_max", export_retry_max),
+      MANTLE_TIME_KEY("mds_bal_export_retry_base_us", export_retry_base),
+      MANTLE_TIME_KEY("mds_bal_export_retry_cap_us", export_retry_cap),
+      MANTLE_INT_KEY("mds_bal_export_stuck_ticks", export_stuck_ticks),
+      MANTLE_BOOL_KEY("mds_bal_hb_stale_guard", hb_stale_guard),
+      MANTLE_INT_KEY("mds_bal_laggy_readmit_ticks", laggy_readmit_ticks),
+      MANTLE_DOUBLE_KEY("mds_bal_laggy_factor", laggy_factor),
 
       // Simulator knobs.
       {"sim_num_mds",
@@ -84,6 +103,8 @@ const std::vector<KeyBinding>& bindings() {
 #undef MANTLE_TIME_KEY
 #undef MANTLE_DOUBLE_KEY
 #undef MANTLE_SIZE_KEY
+#undef MANTLE_INT_KEY
+#undef MANTLE_BOOL_KEY
 
 }  // namespace
 

@@ -33,6 +33,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::PolicyRecompile: return "policy-recompile";
     case EventKind::ShadowVerdict: return "shadow-verdict";
     case EventKind::FuzzCrash: return "fuzz-crash";
+    case EventKind::HeartbeatStaleRejected: return "hb-stale-rejected";
+    case EventKind::ExportRetry: return "export-retry";
+    case EventKind::InvariantViolation: return "invariant-violation";
   }
   return "?";
 }

@@ -56,10 +56,13 @@ enum class EventKind : int {
   PolicyRecompile,
   ShadowVerdict,  ///< shadow evaluation accepted/rejected a candidate policy
   FuzzCrash,      ///< hook-input fuzzer found an invariant violation
+  HeartbeatStaleRejected,  ///< stale-epoch/out-of-order heartbeat refused
+  ExportRetry,             ///< aborted 2PC export re-attempted after backoff
+  InvariantViolation,      ///< chaos invariant checker caught a violation
   // Keep kLastEventKind in sync when appending kinds.
 };
 
-inline constexpr EventKind kLastEventKind = EventKind::FuzzCrash;
+inline constexpr EventKind kLastEventKind = EventKind::InvariantViolation;
 
 const char* event_kind_name(EventKind kind);
 

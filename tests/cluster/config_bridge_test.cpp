@@ -63,6 +63,36 @@ TEST(ConfigBridge, PolicyHooksAreNotUnknown) {
   EXPECT_TRUE(unknown_config_keys(cfg).empty());
 }
 
+TEST(ConfigBridge, HardeningKeys) {
+  mantle::Config cfg;
+  cfg.inject_args(
+      "mds_bal_export_retry_max=5 mds_bal_export_retry_base_us=20000 "
+      "mds_bal_export_retry_cap_us=2000000 mds_bal_export_stuck_ticks=7 "
+      "mds_bal_hb_stale_guard=false mds_bal_laggy_readmit_ticks=3 "
+      "mds_bal_laggy_factor=4.5");
+  const ClusterConfig out = apply_config(ClusterConfig{}, cfg);
+  EXPECT_EQ(out.export_retry_max, 5);
+  EXPECT_EQ(out.export_retry_base, 20 * kMsec);
+  EXPECT_EQ(out.export_retry_cap, 2 * kSec);
+  EXPECT_EQ(out.export_stuck_ticks, 7);
+  EXPECT_FALSE(out.hb_stale_guard);
+  EXPECT_EQ(out.laggy_readmit_ticks, 3);
+  EXPECT_DOUBLE_EQ(out.laggy_factor, 4.5);
+  // None of the hardening keys should count as unknown.
+  EXPECT_TRUE(unknown_config_keys(cfg).empty());
+}
+
+TEST(ConfigBridge, HardeningDefaultsPassThrough) {
+  const ClusterConfig base;
+  const ClusterConfig out = apply_config(base, mantle::Config{});
+  EXPECT_EQ(out.export_retry_max, base.export_retry_max);
+  EXPECT_EQ(out.export_retry_base, base.export_retry_base);
+  EXPECT_EQ(out.export_retry_cap, base.export_retry_cap);
+  EXPECT_EQ(out.export_stuck_ticks, base.export_stuck_ticks);
+  EXPECT_TRUE(out.hb_stale_guard);
+  EXPECT_EQ(out.laggy_readmit_ticks, base.laggy_readmit_ticks);
+}
+
 TEST(ConfigBridge, UnparsableValuesKeepDefaults) {
   mantle::Config cfg;
   cfg.set("mds_bal_split_size", "banana");

@@ -15,10 +15,11 @@
 ///   mantle-stat --scenario plain --seed 7      # no dumps needed
 ///   mantle-stat --shadow run.trace.json my.policy   # injection gate
 ///   mantle-stat --fuzz --seed 1 --iters 10000       # hook-input fuzzer
+///   mantle-stat --chaos --seed 1 --iters 2000       # chaos sweep
 ///
-/// Usage errors exit 64, shadow rejection 65, missing/empty input 66 —
-/// distinct from small tripped-detector/fuzz-failure counts (capped at
-/// 63).
+/// Usage errors exit 64, shadow rejection 65, missing/empty input or a
+/// chaos invariant violation 66 — distinct from small
+/// tripped-detector/fuzz-failure counts (capped at 63).
 
 #include <algorithm>
 #include <cstdio>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "balancers/builtin.hpp"
+#include "chaos/chaos.hpp"
 #include "common/log.hpp"
 #include "core/mantle.hpp"
 #include "fault/fault.hpp"
@@ -54,8 +56,10 @@ struct Options {
   std::string scenario;
   std::string shadow_trace;   // --shadow TRACE POLICY
   std::string shadow_policy;
-  std::string repro_out;      // --repro-out FILE (fuzz reproducer corpus)
+  std::string repro_out;      // --repro-out FILE (fuzz/chaos reproducer corpus)
   bool fuzz = false;
+  bool chaos = false;
+  bool no_stale_guard = false;  // --chaos: reintroduce the seeded hb bug
   bool quick = false;
   std::uint64_t iters = 0;  // 0 = default for the mode
   std::uint64_t seed = 7;
@@ -73,6 +77,9 @@ void usage(std::FILE* to) {
       "       mantle-stat --shadow TRACE POLICY [--json]\n"
       "       mantle-stat --fuzz [--seed N] [--iters K] [--quick]\n"
       "                   [--repro-out FILE] [--json]\n"
+      "       mantle-stat --chaos [--seed N] [--iters K] [--quick]\n"
+      "                   [--scenario LIST] [--no-stale-guard]\n"
+      "                   [--repro-out FILE] [--json]\n"
       "\n"
       "Analyzes Mantle observability dumps (<stem>.trace.json +\n"
       "<stem>.metrics.json pairs) or an inline scenario. DIR defaults to\n"
@@ -88,7 +95,17 @@ void usage(std::FILE* to) {
       "\n"
       "--fuzz runs the deterministic hook-input fuzzer (default 10000\n"
       "iterations; --quick = 800); the exit code is the number of shrunk\n"
-      "invariant violations, written to --repro-out if given.\n");
+      "invariant violations, written to --repro-out if given.\n"
+      "\n"
+      "--chaos runs the deterministic chaos engine: randomized fault\n"
+      "schedules (crash/restart, heartbeat drop/dup/delay windows, store\n"
+      "faults) against simulated scenarios with cluster-wide invariant\n"
+      "checking every tick; violating schedules are delta-debugged to\n"
+      "minimal reproducers (--repro-out). --scenario takes a comma list of\n"
+      "create-heavy,compile,fault-recovery (default: all three, round-\n"
+      "robin); --iters is the total schedule count (default 300, --quick\n"
+      "60). --no-stale-guard disables the stale-heartbeat guard to\n"
+      "reintroduce the seeded bug. Exit 66 on any violation.\n");
 }
 
 bool read_file(const std::string& path, std::string& out) {
@@ -174,6 +191,10 @@ int main(int argc, char** argv) {
       opt.shadow_policy = value("--shadow");
     } else if (a == "--fuzz") {
       opt.fuzz = true;
+    } else if (a == "--chaos") {
+      opt.chaos = true;
+    } else if (a == "--no-stale-guard") {
+      opt.no_stale_guard = true;
     } else if (a == "--quick") {
       opt.quick = true;
     } else if (a == "--iters") {
@@ -199,6 +220,50 @@ int main(int argc, char** argv) {
       usage(stderr);
       return kExitUsage;
     }
+  }
+
+  if (opt.chaos) {
+    // Crash/recovery chatter for thousands of seeded runs would drown the
+    // report; violations carry their own reproducers.
+    mantle::Log::set_level(mantle::LogLevel::Error);
+    mantle::chaos::ChaosConfig ccfg;
+    ccfg.seed = opt.seed;
+    ccfg.iters = opt.iters != 0 ? opt.iters : opt.quick ? 60 : 300;
+    ccfg.hb_stale_guard = !opt.no_stale_guard;
+    if (!opt.scenario.empty()) {
+      ccfg.scenarios.clear();
+      std::stringstream ss(opt.scenario);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        mantle::chaos::ScenarioKind k;
+        if (!mantle::chaos::parse_scenario(item, k)) {
+          std::fprintf(stderr, "mantle-stat: unknown chaos scenario '%s'\n",
+                       item.c_str());
+          return kExitUsage;
+        }
+        ccfg.scenarios.push_back(k);
+      }
+    }
+    const mantle::chaos::ChaosResult res = mantle::chaos::run_chaos(ccfg);
+    if (opt.json) {
+      std::printf("%s\n", res.to_json().c_str());
+    } else {
+      std::printf(
+          "chaos: seed=%llu %llu schedule(s), %llu fault(s) injected, "
+          "%llu check(s), %llu shrink run(s), %zu violation(s)\n",
+          static_cast<unsigned long long>(ccfg.seed),
+          static_cast<unsigned long long>(res.schedules),
+          static_cast<unsigned long long>(res.faults_injected),
+          static_cast<unsigned long long>(res.checks),
+          static_cast<unsigned long long>(res.shrink_runs),
+          res.violations.size());
+      if (!res.ok()) std::printf("%s", res.corpus().c_str());
+    }
+    if (!res.ok() && !opt.repro_out.empty()) {
+      std::ofstream out(opt.repro_out, std::ios::binary | std::ios::trunc);
+      out << res.corpus();
+    }
+    return res.ok() ? 0 : kExitNoInput;
   }
 
   if (opt.fuzz) {
