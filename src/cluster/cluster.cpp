@@ -436,6 +436,7 @@ void MdsNode::complete(Request r, Time /*svc*/) {
   }
 
   ++stats_.completed;
+  ++stats_.ops_by_type[static_cast<std::size_t>(r.op)];
   ++done_in_window_;
   cluster_.om_.requests_completed.inc();
   stats_.throughput.record(now);
@@ -463,10 +464,9 @@ HeartbeatPayload MdsNode::measure() {
   hb.req_rate = static_cast<double>(done_in_window_) / to_seconds(window);
   hb.queue_len = static_cast<double>(queue_.size());
 
-  const auto entries = cluster_.auth_entry_counts();
+  const auto own_entries = cluster_.auth_entry_count(rank_);
   hb.mem_pct = std::clamp(
-      100.0 * static_cast<double>(entries[static_cast<std::size_t>(rank_)]) /
-          cfg.mem_capacity_entries,
+      100.0 * static_cast<double>(own_entries) / cfg.mem_capacity_entries,
       0.0, 100.0);
 
   // Metadata loads via the installed policy (or the CephFS default).
@@ -698,6 +698,21 @@ void MdsCluster::client_submit(Request r, MdsRank guess) {
     }
     node(guess).on_arrival(std::move(r));
   });
+}
+
+void MdsCluster::client_submit_batch(MdsRank guess, std::vector<Request> batch) {
+  if (batch.empty()) return;
+  if (guess < 0 || guess >= num_mds()) guess = 0;
+  engine_.schedule_after(
+      cfg_.net_latency, [this, guess, batch = std::move(batch)]() mutable {
+        if (!is_up(guess)) {
+          requests_dropped_ += batch.size();
+          om_.requests_dropped.inc(batch.size());
+          return;
+        }
+        MdsNode& n = node(guess);
+        for (Request& r : batch) n.on_arrival(std::move(r));
+      });
 }
 
 void MdsCluster::route_to(MdsRank rank, Request r) {
@@ -1445,17 +1460,27 @@ void MdsCluster::reparent_subtree(InodeId dir, MdsRank from, MdsRank to) {
 
 std::size_t MdsCluster::flush_client_sessions(MdsRank a, MdsRank b) {
   if (a < 0 || b < 0 || a >= num_mds() || b >= num_mds()) return 0;
-  const Time now = engine_.now();
-  std::set<int> flushed = sessions_[static_cast<std::size_t>(a)];
-  flushed.insert(sessions_[static_cast<std::size_t>(b)].begin(),
-                 sessions_[static_cast<std::size_t>(b)].end());
-  sessions_flushed_ += flushed.size();
-  om_.sessions_flushed.inc(flushed.size());
-  for (const int c : flushed) {
-    Time& until = client_stall_until_[c];
-    until = std::max(until, now + cfg_.session_flush_stall);
+  const Time stall_until = engine_.now() + cfg_.session_flush_stall;
+  // Union of the two ranks' session lists without materializing a set:
+  // a generation stamp marks ids already counted in this flush.
+  ++flush_gen_;
+  std::size_t flushed = 0;
+  for (const MdsRank rk : {a, b}) {
+    for (const int c : sessions_[static_cast<std::size_t>(rk)].members()) {
+      const auto id = static_cast<std::size_t>(c);
+      if (id >= flush_mark_.size()) flush_mark_.resize(id + 1, 0);
+      if (flush_mark_[id] == flush_gen_) continue;
+      flush_mark_[id] = flush_gen_;
+      ++flushed;
+      if (id >= client_stall_until_.size())
+        client_stall_until_.resize(id + 1, 0);
+      Time& until = client_stall_until_[id];
+      until = std::max(until, stall_until);
+    }
   }
-  return flushed.size();
+  sessions_flushed_ += flushed;
+  om_.sessions_flushed.inc(flushed);
+  return flushed;
 }
 
 void MdsCluster::deliver_reply(Reply rep) {
@@ -1463,15 +1488,18 @@ void MdsCluster::deliver_reply(Reply rep) {
     om_.request_latency_ms.observe(
         static_cast<double>(rep.finished_at - rep.issued_at) / kMsec);
   Time when = engine_.now() + cfg_.net_latency;
-  const auto it = client_stall_until_.find(rep.client);
-  if (it != client_stall_until_.end() && it->second > when) when = it->second;
+  if (rep.client >= 0) {
+    const auto id = static_cast<std::size_t>(rep.client);
+    if (id < client_stall_until_.size() && client_stall_until_[id] > when)
+      when = client_stall_until_[id];
+  }
   if (reply_cb_) {
     engine_.schedule_at(when, [this, rep = std::move(rep)]() { reply_cb_(rep); });
   }
 }
 
 void MdsCluster::note_session(MdsRank rank, int client) {
-  if (client >= 0) sessions_[static_cast<std::size_t>(rank)].insert(client);
+  if (client >= 0) sessions_[static_cast<std::size_t>(rank)].note(client);
 }
 
 std::uint64_t MdsCluster::total_forwards() const {
@@ -1497,6 +1525,13 @@ std::vector<std::size_t> MdsCluster::auth_entry_counts() const {
   for (const auto& [frag, rank] : subtree_roots_)
     out[static_cast<std::size_t>(rank)] += subtree_entry_count(frag, rank);
   return out;
+}
+
+std::size_t MdsCluster::auth_entry_count(MdsRank rank) const {
+  std::size_t n = 0;
+  for (const auto& [frag, r] : subtree_roots_)
+    if (r == rank) n += subtree_entry_count(frag, rank);
+  return n;
 }
 
 }  // namespace mantle::cluster

@@ -1,10 +1,10 @@
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -141,6 +141,10 @@ struct ClusterConfig {
 
 enum class OpType { Create, Mkdir, Getattr, Lookup, Readdir, Unlink, Rename };
 
+/// Number of OpType values (keep in sync with the enum; Rename is last).
+inline constexpr std::size_t kNumOpTypes =
+    static_cast<std::size_t>(OpType::Rename) + 1;
+
 const char* op_name(OpType op);
 
 /// A client metadata request, addressed by directory inode + dentry name.
@@ -230,7 +234,37 @@ struct MdsStats {
   std::uint64_t remote_prefix_ops = 0;  // served with a foreign parent dir
   std::uint64_t exports = 0;
   std::uint64_t imports = 0;
+  /// Completions by op type, indexed by static_cast<size_t>(OpType). A
+  /// fixed array bumped in MdsNode::complete(): per-rank op mixes without
+  /// any per-client container on the hot path.
+  std::array<std::uint64_t, kNumOpTypes> ops_by_type{};
   Timeline throughput{mantle::kSec};  // completed requests per second
+};
+
+/// Dense per-rank session bookkeeping. This used to be a std::set<int>
+/// per rank: O(log n) node-allocating insert on every completed request.
+/// Client ids are dense (Scenario hands them out 0..N-1), so a byte map
+/// plus a membership vector gives O(1) amortized note() and iteration in
+/// first-contact order.
+class SessionTable {
+ public:
+  /// Record a session for `client` (idempotent). Caller guards client >= 0.
+  void note(int client) {
+    const auto id = static_cast<std::size_t>(client);
+    if (id >= seen_.size()) seen_.resize(id + 1, 0);
+    if (seen_[id] == 0) {
+      seen_[id] = 1;
+      members_.push_back(client);
+    }
+  }
+
+  /// Clients with a session on this rank, in first-contact order.
+  const std::vector<int>& members() const noexcept { return members_; }
+  std::size_t size() const noexcept { return members_.size(); }
+
+ private:
+  std::vector<std::uint8_t> seen_;
+  std::vector<int> members_;
 };
 
 class MdsCluster;
@@ -388,6 +422,13 @@ class MdsCluster {
   /// client's retry timer is what recovers them.
   void client_submit(Request r, MdsRank guess);
 
+  /// Batched client entry point: one network event carries a whole batch
+  /// of requests toward the same guessed rank, instead of one engine
+  /// event per request. Arrival order at the MDS is the batch order.
+  /// Used by ClientPopulation aggregates, whose per-tick arrival counts
+  /// would otherwise dominate the event queue at 1M modeled clients.
+  void client_submit_batch(MdsRank guess, std::vector<Request> batch);
+
   // -- Liveness / fault handling ----------------------------------------------
   /// Is this rank serving? (false while down or replaying its journal).
   bool is_up(MdsRank rank) const;
@@ -516,6 +557,12 @@ class MdsCluster {
   /// Per-rank count of dentries currently under its authority.
   std::vector<std::size_t> auth_entry_counts() const;
 
+  /// Dentries under one rank's authority. The heartbeat path uses this:
+  /// walking only the caller's subtrees keeps a 512-rank cluster's
+  /// per-interval measurement cost at one namespace sweep total, not one
+  /// per rank.
+  std::size_t auth_entry_count(MdsRank rank) const;
+
  private:
   friend class MdsNode;
 
@@ -578,8 +625,12 @@ class MdsCluster {
   Rng retry_rng_;
   std::uint64_t hb_stale_rejected_ = 0;
 
-  std::vector<std::set<int>> sessions_;       // per-rank client sessions
-  std::map<int, Time> client_stall_until_;    // session-flush penalties
+  std::vector<SessionTable> sessions_;     // per-rank client sessions (dense)
+  std::vector<Time> client_stall_until_;   // session-flush stall, by client id
+  /// Scratch for flush_client_sessions' two-rank union: ids stamped with
+  /// the current generation are already counted in this flush.
+  std::vector<std::uint64_t> flush_mark_;
+  std::uint64_t flush_gen_ = 0;
   std::uint64_t sessions_flushed_ = 0;
 
   // -- fault state -------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 /// \file stats.hpp
@@ -81,6 +82,74 @@ class SampleSet {
   const std::vector<double>& samples() const noexcept { return samples_; }
 
  private:
+  std::vector<double> samples_;
+};
+
+/// Bounded-memory sample distribution: Vitter's Algorithm R reservoir for
+/// percentiles plus an exact Welford accumulator for count/mean/stddev.
+/// Memory stays O(capacity) however many values stream through, so a
+/// million-op client no longer grows linearly; quantile estimates drift by
+/// well under 1% at the default capacity (verified by a seeded test).
+/// Deterministic: the eviction stream is SplitMix64 from an explicit seed,
+/// never global state.
+class ReservoirSample {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit ReservoirSample(std::size_t capacity = kDefaultCapacity,
+                           std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+      : capacity_(std::max<std::size_t>(capacity, 1)), rng_state_(seed) {}
+
+  void add(double x) {
+    exact_.add(x);
+    if (samples_.size() < capacity_) {
+      samples_.push_back(x);
+      return;
+    }
+    // Algorithm R: keep each of the n values seen so far with equal
+    // probability capacity/n.
+    const std::uint64_t j = next_u64() % exact_.count();
+    if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+  }
+
+  /// Total values streamed through (not the retained count).
+  std::size_t count() const noexcept { return exact_.count(); }
+  std::size_t retained() const noexcept { return samples_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Exact moments (independent of the reservoir).
+  double mean() const noexcept { return exact_.mean(); }
+  double stddev() const noexcept { return exact_.stddev(); }
+  double min() const noexcept { return exact_.min(); }
+  double max() const noexcept { return exact_.max(); }
+
+  /// p in [0,1]; interpolated rank over the retained reservoir. Exact
+  /// whenever count() <= capacity().
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  /// The retained (unsorted) reservoir, for pooling across clients.
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t capacity_;
+  std::uint64_t rng_state_;
+  OnlineStats exact_;
   std::vector<double> samples_;
 };
 

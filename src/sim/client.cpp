@@ -24,7 +24,18 @@ bool is_mutation(cluster::OpType op) {
 Client::Client(int id, cluster::MdsCluster& cluster,
                std::unique_ptr<Workload> wl, Rng rng, RetryPolicy retry)
     : id_(id), cluster_(cluster), workload_(std::move(wl)), rng_(rng),
-      retry_(retry) {}
+      retry_(retry),
+      // The reservoir's eviction stream is derived from the id alone, not
+      // drawn from rng_, so adding it left every workload event sequence
+      // bit-identical.
+      latencies_(mantle::ReservoirSample::kDefaultCapacity,
+                 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id) + 1)) {}
+
+Time Client::runtime() const {
+  if (!started_) return 0;
+  const Time end = done_ ? finished_at_ : cluster_.engine().now();
+  return end > started_at_ ? end - started_at_ : 0;
+}
 
 void Client::start() {
   if (started_) return;

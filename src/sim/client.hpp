@@ -44,7 +44,11 @@ class Client {
   bool done() const { return done_; }
   Time started_at() const { return started_at_; }
   Time finished_at() const { return finished_at_; }
-  Time runtime() const { return finished_at_ - started_at_; }
+  /// Wall-clock of the client's run. Before done() this is the elapsed
+  /// time so far (never the old `0 - started_at_` unsigned underflow,
+  /// which poisoned scenario aggregates when a run hit its horizon);
+  /// before start() it is 0.
+  Time runtime() const;
 
   std::uint64_t ops_completed() const { return ops_completed_; }
   std::uint64_t ops_failed() const { return ops_failed_; }
@@ -52,8 +56,10 @@ class Client {
   std::uint64_t retries() const { return retries_; }
   std::uint64_t stale_replies() const { return stale_replies_; }
 
-  /// Per-request latency samples in milliseconds.
-  const mantle::SampleSet& latencies_ms() const { return latencies_; }
+  /// Per-request latency distribution in milliseconds. Reservoir-backed:
+  /// count/mean/stddev are exact, percentiles come from a bounded sample,
+  /// so memory no longer grows linearly with ops on million-op runs.
+  const mantle::ReservoirSample& latencies_ms() const { return latencies_; }
 
  private:
   void issue_next();
@@ -91,7 +97,7 @@ class Client {
   bool started_ = false;
   Time started_at_ = 0;
   Time finished_at_ = 0;
-  mantle::SampleSet latencies_;
+  mantle::ReservoirSample latencies_;
 };
 
 }  // namespace mantle::sim

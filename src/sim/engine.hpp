@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -14,35 +17,244 @@
 /// is a pure function of its inputs and seeds — which is exactly what the
 /// Figure 4 reproduction needs: the paper shows CephFS balancing is *not*
 /// reproducible run to run, and we reproduce that by varying only seeds.
+///
+/// Scale architecture (ROADMAP item 1): the engine used to keep one
+/// heap-allocated `std::function` per event in a binary heap, which caps
+/// simulations at tens of ranks. It now runs on
+///   - an arena-allocated event pool (`EventPool`): events live in fixed
+///     chunks recycled through a free list, so steady-state scheduling
+///     performs no per-event allocation, and
+///   - a ladder queue: far-future events sit unsorted in a top tier,
+///     get shattered into progressively finer bucket rungs as the clock
+///     approaches, and are only fully sorted in a small bottom tier just
+///     before dispatch. Enqueue and dequeue are O(1) amortized; the total
+///     order is the exact (when, seq) order of the old heap, verified by a
+///     property test against a reference heap.
+///
+/// Callbacks are `sim::Callback`: a move-only type-erased function with
+/// 48 bytes of inline storage (heap fallback for oversized captures), so
+/// the common `[this]`-style continuations never touch the allocator.
 
 namespace mantle::sim {
 
 using mantle::Time;
 
+/// "Never": the saturation sentinel for schedule_after overflow. An event
+/// scheduled exactly at kTimeMax is treated as disabled and dropped (its
+/// callback is destroyed, never invoked) — the deterministic analogue of a
+/// timer armed for the end of time.
+inline constexpr Time kTimeMax = ~Time{0};
+
+/// Move-only callable with inline storage. Anything invocable as `void()`
+/// fits; captures larger than kInlineSize (or with throwing moves) fall
+/// back to a single heap cell. Replaces `std::function` on the event hot
+/// path: no copy requirement, no allocation for small captures, and
+/// dispatch is a plain move out of the pool slot.
+class Callback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  Callback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                Callback> &&
+                std::is_invocable_r_v<void,
+                                      std::remove_cv_t<std::remove_reference_t<F>>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cv_t<std::remove_reference_t<F>>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& o) noexcept { move_from(o); }
+  Callback& operator=(Callback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static inline const Ops kInlineOps = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static inline const Ops kHeapOps = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+  };
+
+  void move_from(Callback& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(o.buf_, buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+/// Chunked arena of events with a free-list: slots are recycled, never
+/// returned to the allocator, so a long run's event traffic is served out
+/// of a handful of fixed chunks. Refs are 32-bit indices.
+class EventPool {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr Ref kNullRef = 0xffffffffu;
+
+  struct Event {
+    Time when = 0;
+    std::uint64_t seq = 0;
+    Callback fn;
+  };
+
+  struct Stats {
+    std::size_t live = 0;        ///< events currently scheduled
+    std::size_t peak_live = 0;   ///< high-water mark of live events
+    std::size_t capacity = 0;    ///< slots reserved across all chunks
+    std::size_t bytes_reserved = 0;  ///< arena + free-list footprint
+  };
+
+  Ref alloc(Time when, std::uint64_t seq, Callback fn) {
+    if (free_.empty()) grow();
+    const Ref r = free_.back();
+    free_.pop_back();
+    Event& e = (*this)[r];
+    e.when = when;
+    e.seq = seq;
+    e.fn = std::move(fn);
+    ++live_;
+    if (live_ > peak_live_) peak_live_ = live_;
+    return r;
+  }
+
+  void release(Ref r) {
+    (*this)[r].fn.reset();
+    free_.push_back(r);
+    --live_;
+  }
+
+  Event& operator[](Ref r) {
+    return chunks_[r >> kChunkShift][r & kChunkMask];
+  }
+  const Event& operator[](Ref r) const {
+    return chunks_[r >> kChunkShift][r & kChunkMask];
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.live = live_;
+    s.peak_live = peak_live_;
+    s.capacity = chunks_.size() * kChunkSize;
+    s.bytes_reserved = chunks_.size() * kChunkSize * sizeof(Event) +
+                       free_.capacity() * sizeof(Ref);
+    return s;
+  }
+
+ private:
+  static constexpr unsigned kChunkShift = 12;  // 4096 events per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr Ref kChunkMask = static_cast<Ref>(kChunkSize - 1);
+
+  void grow() {
+    const Ref base = static_cast<Ref>(chunks_.size() * kChunkSize);
+    chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+    free_.reserve(free_.size() + kChunkSize);
+    // Pushed high-to-low so fresh slots are handed out in ascending order
+    // (cosmetic: keeps early refs cache-adjacent). Dispatch order never
+    // depends on ref values, only on (when, seq).
+    for (std::size_t i = kChunkSize; i > 0; --i)
+      free_.push_back(base + static_cast<Ref>(i - 1));
+  }
+
+  std::vector<std::unique_ptr<Event[]>> chunks_;
+  std::vector<Ref> free_;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+};
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
+  using Ref = EventPool::Ref;
 
   Time now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute time `when` (>= now; earlier times are
-  /// clamped to now).
+  /// clamped to now). Scheduling at kTimeMax means "never": the callback
+  /// is dropped (destroyed, not invoked) and saturated_events() is bumped.
   void schedule_at(Time when, Callback fn);
 
-  /// Schedule `fn` after a delay from now.
+  /// Schedule `fn` after a delay from now. `now + delay` saturates at the
+  /// kTimeMax horizon sentinel instead of wrapping: a huge delay (e.g. a
+  /// disabled-timeout sentinel) parks the event at "never" rather than
+  /// scheduling it in the past.
   void schedule_after(Time delay, Callback fn) {
-    schedule_at(now_ + delay, std::move(fn));
+    Time when = now_ + delay;
+    if (when < now_) when = kTimeMax;  // unsigned wrap: saturate
+    schedule_at(when, std::move(fn));
   }
 
   /// Run until the queue is empty or the horizon is reached. Returns the
-  /// number of events dispatched.
+  /// number of events dispatched. Every event with `when <= horizon`
+  /// fires; on return `now()` is the horizon when work remains pending
+  /// beyond it (the clock catches up to the horizon), or the time of the
+  /// last dispatched event when the queue drained first.
   std::uint64_t run_until(Time horizon);
 
   /// Drain everything (no horizon).
-  std::uint64_t run() { return run_until(~Time{0}); }
+  std::uint64_t run() { return run_until(kTimeMax); }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
+
+  /// Events dropped by the kTimeMax "never" saturation.
+  std::uint64_t saturated_events() const { return saturated_; }
+
+  /// Arena footprint: live/peak event counts and bytes reserved — the
+  /// peak-RSS proxy reported by bench/fig_scale.
+  EventPool::Stats pool_stats() const { return pool_.stats(); }
 
   /// Attach a metrics registry: the engine keeps a dispatched-event
   /// counter and clock/queue gauges fresh. Caller keeps ownership;
@@ -50,21 +262,54 @@ class Engine {
   void set_metrics(obs::MetricsRegistry* reg);
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  /// One rung of the ladder: an array of buckets of width `width` ticks
+  /// starting at `start`. `cur` is the next bucket to drain; events may
+  /// only be inserted at or after it (earlier times belong to a finer
+  /// rung or the bottom tier).
+  struct Rung {
+    Time start = 0;
+    Time width = 1;
+    std::size_t cur = 0;
+    std::size_t count = 0;
+    std::vector<std::vector<Ref>> buckets;
+
+    Time cur_start() const { return start + width * static_cast<Time>(cur); }
+    Time end() const {
+      return start + width * static_cast<Time>(buckets.size());
     }
   };
 
+  void enqueue(Ref r);
+  void bottom_insert(Ref r);
+  /// Move the next chunk of events into the (empty) bottom tier, shattering
+  /// oversized buckets into finer rungs on the way down.
+  void refill();
+  void spawn_rung(Time start, Time span, std::vector<Ref> events);
+  void spawn_rung_from_top();
+
+  bool earlier(Ref a, Ref b) const {
+    const EventPool::Event& ea = pool_[a];
+    const EventPool::Event& eb = pool_[b];
+    if (ea.when != eb.when) return ea.when < eb.when;
+    return ea.seq < eb.seq;
+  }
+
+  static constexpr std::size_t kFanout = 64;  // buckets per spawned rung
+  static constexpr std::size_t kSortThreshold = 64;  // bucket -> bottom cutoff
+  static constexpr std::size_t kMaxRungs = 10;
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t size_ = 0;
+  std::uint64_t saturated_ = 0;
+
+  EventPool pool_;
+  std::vector<Ref> bottom_;  // sorted by (when, seq) descending; pop back
+  std::vector<Rung> rungs_;  // [0] coarsest; back() finest
+  std::vector<Ref> top_;     // unsorted far future: when >= top_start_
+  Time top_start_ = 0;
+  Time top_min_ = kTimeMax;
+  Time top_max_ = 0;
 
   // Cached handles into the attached registry (null = not attached).
   obs::Counter* m_dispatched_ = nullptr;

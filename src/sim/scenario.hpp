@@ -6,6 +6,7 @@
 
 #include "sim/client.hpp"
 #include "sim/engine.hpp"
+#include "sim/population.hpp"
 
 /// \file scenario.hpp
 /// Experiment runner: wires an engine, a cluster and a set of clients
@@ -33,6 +34,11 @@ class Scenario {
   /// Add a closed-loop client running the given workload. Returns its id.
   int add_client(std::unique_ptr<Workload> wl);
 
+  /// Add a mean-field client population (N modeled clients as sampled
+  /// per-dirfrag arrival flows). Shares the dense client-id space with
+  /// object clients; returns the population's id.
+  int add_population(PopulationConfig cfg);
+
   /// Register a periodic probe (e.g. heat-map sampling for Figure 1).
   /// Probes stop firing when the scenario ends.
   void add_probe(Time interval, std::function<void(Time)> fn);
@@ -43,22 +49,40 @@ class Scenario {
 
   // -- Results -----------------------------------------------------------------
   const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
-  Client& client(int id) { return *clients_.at(static_cast<std::size_t>(id)); }
+  const std::vector<std::unique_ptr<ClientPopulation>>& populations() const {
+    return populations_;
+  }
+  /// The object client with this id. Ids are shared with populations;
+  /// asking for a population's id here throws.
+  Client& client(int id);
+  ClientPopulation& population(int id);
 
   /// Makespan of the last run.
   Time makespan() const { return makespan_; }
 
-  /// All client latencies pooled (milliseconds).
+  /// All client latencies pooled (milliseconds); populations contribute
+  /// their retained reservoir samples.
   mantle::SampleSet pooled_latencies_ms() const;
 
   /// Aggregate client-visible throughput (completed ops / makespan).
+  /// Populations contribute weight-scaled modeled ops.
   double aggregate_throughput() const;
 
  private:
+  /// One slot of the dense client-id space: exactly one pointer is set.
+  /// Replies and results dispatch through here, so object clients and
+  /// population aggregates coexist against the same cluster.
+  struct Sink {
+    Client* client = nullptr;
+    ClientPopulation* pop = nullptr;
+  };
+
   ScenarioConfig cfg_;
   Engine engine_;
   std::unique_ptr<cluster::MdsCluster> cluster_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<ClientPopulation>> populations_;
+  std::vector<Sink> sinks_;
   struct Probe {
     Time interval;
     std::function<void(Time)> fn;

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
 namespace mantle {
 namespace {
 
@@ -66,6 +72,83 @@ TEST(SampleSet, PercentileUnsortedInput) {
   SampleSet s;
   for (double x : {9.0, 1.0, 5.0}) s.add(x);
   EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+}
+
+TEST(ReservoirSample, ExactBelowCapacity) {
+  ReservoirSample r(100);
+  for (int i = 1; i <= 50; ++i) r.add(static_cast<double>(i));
+  EXPECT_EQ(r.count(), 50u);
+  EXPECT_EQ(r.retained(), 50u);
+  SampleSet exact;
+  for (int i = 1; i <= 50; ++i) exact.add(static_cast<double>(i));
+  for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(r.percentile(p), exact.percentile(p)) << "p=" << p;
+}
+
+TEST(ReservoirSample, MomentsAreExactRegardlessOfEviction) {
+  ReservoirSample r(16);  // tiny reservoir, heavy eviction
+  OnlineStats exact;
+  Rng rng(99);
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.exponential(5.0);
+    r.add(x);
+    exact.add(x);
+  }
+  EXPECT_EQ(r.count(), 100'000u);
+  EXPECT_EQ(r.retained(), 16u);
+  EXPECT_DOUBLE_EQ(r.mean(), exact.mean());
+  EXPECT_DOUBLE_EQ(r.stddev(), exact.stddev());
+  EXPECT_DOUBLE_EQ(r.min(), exact.min());
+  EXPECT_DOUBLE_EQ(r.max(), exact.max());
+}
+
+// The claim behind bounding Client latency memory: at the default
+// capacity, quantiles estimated from the reservoir drift by less than 1%
+// against the exact (keep-everything) answer on a seeded 200k-sample
+// stream. Drift is measured in rank space — the estimated p-quantile must
+// really be the (p ± 0.01)-quantile of the full stream — because that is
+// the guarantee a reservoir can make: value-space error additionally
+// divides by the local density, which for a heavy latency tail inflates
+// an 0.5%-rank wobble into several percent of milliseconds. The stream is
+// a lognormal-ish latency shape (2% of samples in a 10x tail), the
+// hardest case for a uniform reservoir. Deterministic: fixed Rng seed,
+// fixed eviction seed.
+TEST(ReservoirSample, QuantileDriftUnderOnePercentAtDefaultCapacity) {
+  ReservoirSample r;  // kDefaultCapacity = 4096
+  SampleSet exact;
+  Rng rng(0x5ca1e);
+  for (int i = 0; i < 200'000; ++i) {
+    const double base = rng.exponential(8.0);
+    const double tail = rng.next_double() < 0.02 ? rng.exponential(80.0) : 0.0;
+    const double x = 0.5 + base + tail;
+    r.add(x);
+    exact.add(x);
+  }
+  EXPECT_EQ(r.retained(), ReservoirSample::kDefaultCapacity);
+
+  std::vector<double> sorted = exact.samples();
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank_of = [&](double x) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    return static_cast<double>(it - sorted.begin()) /
+           static_cast<double>(sorted.size());
+  };
+  for (double p : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const double got = r.percentile(p);
+    const double drift = std::abs(rank_of(got) - p);
+    EXPECT_LT(drift, 0.01) << "p=" << p << " reservoir=" << got
+                           << " sits at exact rank " << rank_of(got);
+  }
+}
+
+TEST(ReservoirSample, SameSeedIsDeterministic) {
+  const auto run = [] {
+    ReservoirSample r(64, 1234);
+    Rng rng(7);
+    for (int i = 0; i < 10'000; ++i) r.add(rng.next_double());
+    return r.samples();
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

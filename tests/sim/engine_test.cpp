@@ -76,5 +76,94 @@ TEST(Engine, DispatchCountReported) {
   EXPECT_TRUE(e.empty());
 }
 
+// Regression: `now_ + delay` used to wrap around on huge delays (e.g. a
+// disabled-timeout sentinel), scheduling the event in the past. It now
+// saturates at the kTimeMax "never" sentinel and the event is dropped.
+TEST(Engine, ScheduleAfterSaturatesInsteadOfWrapping) {
+  Engine e;
+  bool fired_now = false;
+  e.schedule_at(100, [&] {
+    e.schedule_after(kTimeMax - 10, [&] { fired_now = true; });
+  });
+  e.run();
+  EXPECT_FALSE(fired_now);  // parked at "never", not wrapped into the past
+  EXPECT_EQ(e.saturated_events(), 1u);
+  EXPECT_TRUE(e.empty());  // dropped, not leaked as pending
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, ScheduleAtTimeMaxIsNever) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(kTimeMax, [&] { fired = true; });
+  EXPECT_TRUE(e.empty());
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.saturated_events(), 1u);
+}
+
+// run_until dispatches every event with when <= horizon; when work
+// remains beyond the horizon the clock catches up to it, so
+// horizon-sliced drivers always make forward progress even while the
+// event stream is sparse.
+TEST(Engine, RunUntilCatchesClockUpToHorizon) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1000, [&] { ++fired; });
+  e.run_until(10);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.now(), 10u);  // clock caught up, event still pending
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(1000);  // boundary: when == horizon fires
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 1000u);
+}
+
+TEST(Engine, RunUntilDrainedLeavesClockAtLastEvent) {
+  Engine e;
+  e.schedule_at(50, [] {});
+  e.run_until(5000);
+  EXPECT_EQ(e.now(), 50u);  // drained: now() stays at the last event
+}
+
+// Same-timestamp FIFO survives interleaved far-future scheduling: events
+// landing in the top tier, a rung and the bottom tier at the same `when`
+// still dispatch in scheduling order. Regression for the const-moved
+// priority_queue::top() of the old heap engine, which invoked a copy
+// (silently, via the const ref) and could reorder same-key callbacks.
+TEST(Engine, SameTimestampFifoAcrossTiers) {
+  Engine e;
+  std::vector<int> order;
+  // Spread scheduling over several ladder restarts.
+  for (int i = 0; i < 4; ++i)
+    e.schedule_at(1000, [&order, i] { order.push_back(i); });
+  e.schedule_at(10, [&] {
+    for (int i = 4; i < 8; ++i)
+      e.schedule_at(1000, [&order, i] { order.push_back(i); });
+  });
+  e.schedule_at(999, [&] {
+    for (int i = 8; i < 12; ++i)
+      e.schedule_at(1000, [&order, i] { order.push_back(i); });
+  });
+  e.run();
+  ASSERT_EQ(order.size(), 12u);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, PoolRecyclesSlots) {
+  Engine e;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i)
+      e.schedule_after(static_cast<Time>(i), [] {});
+    e.run();
+  }
+  const auto s = e.pool_stats();
+  EXPECT_EQ(s.live, 0u);
+  EXPECT_EQ(s.peak_live, 100u);     // rounds reuse the same slots
+  EXPECT_EQ(s.capacity, 4096u);     // a single chunk was enough
+  EXPECT_GT(s.bytes_reserved, 0u);
+}
+
 }  // namespace
 }  // namespace mantle::sim
