@@ -105,5 +105,6 @@ int main(int argc, char** argv) {
   std::sort(totals.rbegin(), totals.rend());
   for (const auto& [sum, name] : totals)
     std::printf("%-10s %10.1f\n", name.c_str(), sum);
+  mantle::bench::print_phase_profile();
   return 0;
 }

@@ -313,5 +313,6 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
 
+  mantle::bench::print_phase_profile();
   return deterministic ? 0 : 1;
 }

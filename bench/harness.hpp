@@ -14,6 +14,7 @@
 
 #include "balancers/builtin.hpp"
 #include "core/mantle.hpp"
+#include "obs/profile.hpp"
 #include "sim/scenario.hpp"
 #include "workloads/compile.hpp"
 #include "workloads/create_heavy.hpp"
@@ -105,7 +106,13 @@ inline std::string obs_dump_digest(const std::string& label,
   d(c.laggy_factor);
   u(c.replay_base), u(c.replay_per_entry);
   u(c.takeover_on_crash ? 1 : 0);
+  u(c.hb_stale_guard ? 1 : 0);
+  u(static_cast<std::uint64_t>(c.export_retry_max));
+  u(c.export_retry_base), u(c.export_retry_cap);
+  u(static_cast<std::uint64_t>(c.export_stuck_ticks));
+  u(static_cast<std::uint64_t>(c.laggy_readmit_ticks));
   u(c.trace_capacity);
+  u(c.provenance_capacity), u(c.provenance_max_ranks);
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%08x",
                 static_cast<unsigned>(h ^ (h >> 32)));
@@ -140,10 +147,35 @@ inline void dump_observability(const std::string& label, std::uint64_t seed,
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << body;
   };
-  write(stem + ".prom", s.cluster().metrics().to_prometheus());
-  write(stem + ".metrics.json", s.cluster().metrics().to_json());
-  write(stem + ".trace.json", s.cluster().trace().to_json());
-  write(stem + ".perfetto.json", s.cluster().trace().to_perfetto());
+  {
+    obs::ScopedPhase prof(obs::ProfilePhase::TraceIo);
+    write(stem + ".prom", s.cluster().metrics().to_prometheus());
+    write(stem + ".metrics.json", s.cluster().metrics().to_json());
+    write(stem + ".trace.json", s.cluster().trace().to_json());
+    write(stem + ".perfetto.json", s.cluster().trace().to_perfetto());
+    write(stem + ".provenance.json", s.cluster().provenance().to_json());
+  }
+  // Opt-in wall-clock side files. Deliberately separate from the
+  // deterministic dump set above: profile numbers are real-time
+  // measurements and would break byte-identical same-seed dumps.
+  const char* prof_dump = std::getenv("MANTLE_PROFILE_DUMP");
+  if (prof_dump != nullptr && *prof_dump != '\0' &&
+      std::string(prof_dump) != "0") {
+    write(stem + ".profile.json", obs::Profiler::instance().to_json());
+    write(stem + ".profile.perfetto.json",
+          s.cluster().trace().to_perfetto(&obs::Profiler::instance()));
+  }
+}
+
+/// Print the wall-clock phase profile accumulated so far (bench binaries
+/// call this after their runs; stdout only, never part of the dumps).
+inline void print_phase_profile() {
+  if (!obs::Profiler::instance().enabled()) return;
+  // stderr, not stdout: bench stdout stays a pure function of
+  // (seed, config) so `bench --quick | diff` determinism probes hold;
+  // wall-clock numbers vary run to run by nature.
+  std::fprintf(stderr, "\n## wall-clock phase profile\n%s",
+               obs::Profiler::instance().table().c_str());
 }
 
 inline void dump_observability(const RunSpec& spec, sim::Scenario& s) {

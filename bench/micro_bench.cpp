@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "balancers/builtin.hpp"
+#include "harness.hpp"
 #include "common/decay_counter.hpp"
 #include "core/mantle.hpp"
 #include "mds/namespace.hpp"
@@ -278,5 +279,6 @@ int main(int argc, char** argv) {
   register_hook_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  mantle::bench::print_phase_profile();
   return 0;
 }

@@ -104,6 +104,19 @@ class Balancer {
 
   virtual std::string name() const = 0;
 
+  /// Cumulative evaluation-cost counters, sampled by the provenance
+  /// recorder before and after each balancer tick so every
+  /// DecisionRecord carries the Lua steps / cache traffic / hook
+  /// errors *that decision* cost. Native (C++) policies report zeros.
+  struct EvalStats {
+    std::uint64_t lua_steps = 0;
+    std::uint64_t hook_errors = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_recompiles = 0;
+  };
+  virtual EvalStats eval_stats() const { return {}; }
+
   /// mds_bal_metaload: scalar load of one dirfrag/subtree.
   virtual double metaload(const PopSnapshot& pop) const = 0;
 

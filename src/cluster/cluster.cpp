@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/profile.hpp"
 
 namespace mantle::cluster {
 
@@ -116,6 +117,12 @@ ClusterMetrics::ClusterMetrics(obs::MetricsRegistry& reg)
                             "dead ranks adopted by a survivor")),
       sessions_flushed(reg.counter("client_sessions_flushed_total",
                                    "client sessions flushed on moves")),
+      provenance_records(reg.counter("mantle_provenance_records_total",
+                                     "balancer decisions captured by the "
+                                     "provenance recorder")),
+      provenance_dropped(reg.counter("mantle_provenance_dropped_total",
+                                     "decisions dropped at provenance "
+                                     "capacity")),
       request_latency_ms(reg.histogram("request_latency_ms",
                                        obs::buckets::latency_ms(),
                                        "client-visible request latency")),
@@ -482,8 +489,15 @@ HeartbeatPayload MdsNode::measure() {
 }
 
 void MdsNode::tick() {
+  obs::ScopedPhase prof(obs::ProfilePhase::ClusterTick);
   const Time now = cluster_.engine().now();
   const ClusterConfig& cfg = cluster_.config();
+
+  // Snapshot the policy's cumulative evaluation cost before any hook
+  // runs (measure() already calls metaload), so the provenance record
+  // carries the deltas this tick cost.
+  const Balancer::EvalStats ev0 =
+      balancer_ != nullptr ? balancer_->eval_stats() : Balancer::EvalStats{};
 
   HeartbeatPayload me = measure();
   hb_[static_cast<std::size_t>(rank_)] = me;
@@ -557,8 +571,25 @@ void MdsNode::tick() {
     // The whole tick's decision chain (when -> where -> howmuch) shares
     // one causal span; migrations it orders are child spans of it.
     const obs::SpanId tick_span = cluster_.trace_.next_span();
+
+    // Provenance: capture the exact hook environment the decision saw.
+    obs::DecisionRecord rec;
+    rec.at = now;
+    rec.rank = rank_;
+    rec.span = tick_span;
+    rec.policy = balancer_->name();
+    rec.min_load = cfg.bal_min_load;
+    rec.mdss.reserve(hb_.size());
+    for (const HeartbeatPayload& h : hb_)
+      rec.mdss.push_back({h.auth_metaload, h.all_metaload, h.cpu_pct,
+                          h.mem_pct, h.queue_len, h.req_rate});
+    rec.loads = view.loads;
+    rec.alive = view.alive;
+    rec.total_load = view.total_load;
+
     const bool migrate =
         view.total_load >= cfg.bal_min_load && balancer_->when(view);
+    rec.go = migrate;
     (migrate ? cluster_.om_.when_true : cluster_.om_.when_false).inc();
     const std::size_t me_idx = static_cast<std::size_t>(rank_);
     cluster_.trace_.event(
@@ -570,6 +601,7 @@ void MdsNode::tick() {
     if (migrate) {
       std::vector<double> targets = balancer_->where(view);
       targets.resize(hb_.size(), 0.0);
+      rec.targets = targets;
       {
         obs::TraceEvent ev;
         ev.at = now;
@@ -597,6 +629,7 @@ void MdsNode::tick() {
       // One howmuch() per tick: the strategy list is a per-policy constant,
       // not a per-target one.
       const std::vector<std::string> selectors = balancer_->howmuch();
+      rec.selectors = selectors;
       for (std::size_t t = 0; t < targets.size(); ++t) {
         if (static_cast<MdsRank>(t) == rank_) continue;
         if (!view.alive[t]) continue;  // never export to a laggy/dead peer
@@ -614,11 +647,28 @@ void MdsNode::tick() {
              {"picked", static_cast<double>(picks.size())},
              {"shipped", selection_load(pool, picks)}},
             tick_span);
-        for (const std::size_t idx : picks)
+        obs::ProvenanceShipment ship;
+        ship.target = static_cast<int>(t);
+        ship.goal = goal;
+        ship.pool = pool.size();
+        ship.shipped = selection_load(pool, picks);
+        for (const std::size_t idx : picks) {
+          ship.picks.push_back({pool[idx].frag.str(), pool[idx].load,
+                                static_cast<std::uint64_t>(pool[idx].entries)});
           cluster_.export_subtree(pool[idx].frag, static_cast<MdsRank>(t),
                                   tick_span);
+        }
+        rec.ships.push_back(std::move(ship));
       }
     }
+
+    const Balancer::EvalStats ev1 = balancer_->eval_stats();
+    rec.lua_steps = ev1.lua_steps - ev0.lua_steps;
+    rec.hook_errors = ev1.hook_errors - ev0.hook_errors;
+    rec.cache_hits = ev1.cache_hits - ev0.cache_hits;
+    rec.cache_misses = ev1.cache_misses - ev0.cache_misses;
+    rec.cache_recompiles = ev1.cache_recompiles - ev0.cache_recompiles;
+    cluster_.record_provenance(std::move(rec));
   }
 
   // Reset the measurement window.
@@ -633,7 +683,7 @@ void MdsNode::tick() {
 
 MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
     : engine_(engine), cfg_(cfg), rng_(cfg.seed), trace_(cfg.trace_capacity),
-      om_(metrics_),
+      provenance_(cfg.provenance_capacity), om_(metrics_),
       // Independent backoff-jitter stream: derived from the seed but not
       // forked from rng_, so arming export retries never shifts the event
       // sequences of fault-free runs.
@@ -651,6 +701,28 @@ MdsCluster::MdsCluster(sim::Engine& engine, ClusterConfig cfg)
   const DirFragId root{ns_.root(), frag_t()};
   ns_.frag(root)->auth = 0;
   subtree_roots_[root] = 0;
+}
+
+void MdsCluster::record_provenance(obs::DecisionRecord rec) {
+  // Digest the *full* input table before any truncation, so same-seed
+  // runs compare equal digests even when stored tables are elided.
+  rec.digest = obs::input_digest(rec);
+  if (rec.mdss.size() > cfg_.provenance_max_ranks) {
+    rec.mdss.clear();
+    rec.loads.clear();
+    rec.alive.clear();
+    rec.truncated = true;
+  }
+  const Time at = rec.at;
+  const int rank = rec.rank;
+  const obs::SpanId span = rec.span;
+  const std::string digest = rec.digest;
+  if (provenance_.record(std::move(rec)))
+    om_.provenance_records.inc();
+  else
+    om_.provenance_dropped.inc();
+  trace_.event(at, obs::EventKind::ProvenanceRecorded, rank, -1, digest, {},
+               span);
 }
 
 void MdsCluster::set_balancer(MdsRank rank, std::unique_ptr<Balancer> b) {

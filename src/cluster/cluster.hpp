@@ -14,6 +14,7 @@
 #include "common/timeline.hpp"
 #include "mds/namespace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "store/object_store.hpp"
@@ -137,6 +138,15 @@ struct ClusterConfig {
   /// trace().dropped_events() instead of stored; the cap is part of the
   /// config, so truncated timelines are still deterministic.
   std::size_t trace_capacity = std::size_t{1} << 20;
+  /// Bound on the decision provenance recorder (one record per balancer
+  /// tick per rank). Overflowing records are counted, not stored, with
+  /// the same determinism argument as trace_capacity.
+  std::size_t provenance_capacity = 4096;
+  /// Above this many ranks the per-rank input tables (mdss/loads/alive)
+  /// are elided from stored records — the input digest still covers the
+  /// full table, so cross-run comparisons keep working at 512 ranks
+  /// without each record costing O(ranks) memory.
+  std::size_t provenance_max_ranks = 64;
 };
 
 enum class OpType { Create, Mkdir, Getattr, Lookup, Readdir, Unlink, Rename };
@@ -298,6 +308,8 @@ struct ClusterMetrics {
   obs::Counter& restarts;
   obs::Counter& takeovers;
   obs::Counter& sessions_flushed;
+  obs::Counter& provenance_records;
+  obs::Counter& provenance_dropped;
   obs::Histogram& request_latency_ms;
   obs::Histogram& migration_entries;
   obs::Histogram& migration_duration_ms;
@@ -393,6 +405,17 @@ class MdsCluster {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::TraceSink& trace() { return trace_; }
   const obs::TraceSink& trace() const { return trace_; }
+
+  /// Decision provenance flight recorder: one DecisionRecord per
+  /// balancer tick, linked to the tick's trace span.
+  obs::ProvenanceRecorder& provenance() { return provenance_; }
+  const obs::ProvenanceRecorder& provenance() const { return provenance_; }
+
+  /// Finalize and store one decision record: compute the input digest,
+  /// apply the provenance_max_ranks truncation, bump the provenance
+  /// counters and mirror a `provenance-decision` event onto the
+  /// record's tick span.
+  void record_provenance(obs::DecisionRecord rec);
 
   int num_mds() const { return static_cast<int>(nodes_.size()); }
   MdsNode& node(MdsRank r) { return *nodes_.at(static_cast<std::size_t>(r)); }
@@ -609,6 +632,7 @@ class MdsCluster {
   store::ObjectStore store_;
   obs::MetricsRegistry metrics_;
   obs::TraceSink trace_;
+  obs::ProvenanceRecorder provenance_;
   ClusterMetrics om_;  // cached handles into metrics_ (must follow it)
   std::vector<std::unique_ptr<MdsNode>> nodes_;
   std::vector<std::unique_ptr<store::Journal>> journals_;

@@ -96,6 +96,8 @@ const std::vector<KeyBinding>& bindings() {
       MANTLE_TIME_KEY("sim_session_flush_stall_us", session_flush_stall),
       MANTLE_DOUBLE_KEY("sim_mem_capacity_entries", mem_capacity_entries),
       MANTLE_SIZE_KEY("sim_trace_capacity", trace_capacity),
+      MANTLE_SIZE_KEY("sim_provenance_capacity", provenance_capacity),
+      MANTLE_SIZE_KEY("sim_provenance_max_ranks", provenance_max_ranks),
   };
   return b;
 }

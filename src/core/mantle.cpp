@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace mantle::core {
@@ -307,12 +308,25 @@ void MantleBalancer::attach_observability(obs::MetricsRegistry* metrics,
 }
 
 void MantleBalancer::note_hook(Hook h, bool failed) const {
+  // steps_used() resets at the start of every run/eval, so reading it
+  // after the hook gives exactly this evaluation's cost. The running
+  // total feeds eval_stats() and is kept even without a registry.
+  const std::uint64_t steps = lua_.steps_used();
+  total_steps_ += steps;
   if (hook_calls_[h] == nullptr) return;
   hook_calls_[h]->inc();
   if (failed) hook_fail_[h]->inc();
-  // steps_used() resets at the start of every run/eval, so reading it
-  // after the hook gives exactly this evaluation's cost.
-  hook_steps_[h]->observe(static_cast<double>(lua_.steps_used()));
+  hook_steps_[h]->observe(static_cast<double>(steps));
+}
+
+cluster::Balancer::EvalStats MantleBalancer::eval_stats() const {
+  EvalStats s;
+  s.lua_steps = total_steps_;
+  s.hook_errors = hook_errors_;
+  s.cache_hits = cache_stats_.hits;
+  s.cache_misses = cache_stats_.misses;
+  s.cache_recompiles = cache_stats_.recompiles;
+  return s;
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +358,7 @@ void MantleBalancer::RowCache::update(const HeartbeatPayload& hb, double load,
 }
 
 double MantleBalancer::metaload(const PopSnapshot& pop) const {
+  obs::ScopedPhase prof(obs::ProfilePhase::HookEval);
   lua_.set_global("IRD", Value(pop.ird));
   lua_.set_global("IWR", Value(pop.iwr));
   lua_.set_global("READDIR", Value(pop.readdir));
@@ -356,6 +371,7 @@ double MantleBalancer::metaload(const PopSnapshot& pop) const {
 }
 
 double MantleBalancer::mdsload(const HeartbeatPayload& hb) const {
+  obs::ScopedPhase prof(obs::ProfilePhase::HookEval);
   // The hook is an expression over MDSs[i]; bind a table holding the
   // entry being scored at its 1-based index. One cached single-row
   // environment per rank, refreshed in place.
@@ -458,6 +474,7 @@ void MantleBalancer::bind_view(const ClusterView& view) {
 }
 
 bool MantleBalancer::when(const ClusterView& view) {
+  obs::ScopedPhase prof(obs::ProfilePhase::HookEval);
   pending_targets_.assign(view.size(), 0.0);
   when_filled_targets_ = false;
   if (policy_.when.empty()) return false;
@@ -521,6 +538,7 @@ bool MantleBalancer::when(const ClusterView& view) {
 }
 
 std::vector<double> MantleBalancer::where(const ClusterView& view) {
+  obs::ScopedPhase prof(obs::ProfilePhase::HookEval);
   if (policy_.where.empty()) {
     // Combined when+where policy: reuse what the when hook computed.
     return pending_targets_;
@@ -550,6 +568,7 @@ std::vector<double> MantleBalancer::where(const ClusterView& view) {
 }
 
 std::vector<std::string> MantleBalancer::howmuch() const {
+  obs::ScopedPhase prof(obs::ProfilePhase::HookEval);
   if (policy_.howmuch.empty()) return {"big_first"};
   lua::RunResult r = lua_.run(program(kHowmuch, policy_.howmuch).chunk);
   note_hook(kHowmuch, !r.ok);

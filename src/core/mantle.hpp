@@ -138,6 +138,12 @@ class MantleBalancer final : public cluster::Balancer {
   /// once attach_observability() has run).
   const PolicyCacheStats& cache_stats() const { return cache_stats_; }
 
+  /// Cumulative evaluation cost for the provenance recorder. Always
+  /// tracked (unlike the registry handles, which need
+  /// attach_observability()), so recorded decisions carry real deltas
+  /// even on bare balancers.
+  EvalStats eval_stats() const override;
+
  private:
   /// Index into the per-hook instrumentation arrays.
   enum Hook { kMetaload = 0, kMdsload, kWhen, kWhere, kHowmuch, kNumHooks };
@@ -205,6 +211,7 @@ class MantleBalancer final : public cluster::Balancer {
   MantlePolicy policy_;
   Options opt_;
   mutable lua::Interp lua_;
+  mutable std::uint64_t total_steps_ = 0;  // Lua steps across all hook calls
   mutable std::uint64_t hook_errors_ = 0;
   mutable std::string last_error_;
   lua::Value state_;                     // WRstate/RDstate slot

@@ -7,164 +7,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json_reader.hpp"
 #include "obs/metrics.hpp"  // format_metric_value
 
 namespace mantle::obs {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader, just enough for the dumps this layer itself emits
-// (objects, arrays, strings with the escapes json_escape produces,
-// numbers, true/false/null). Malformed input yields as much as could be
-// parsed rather than an exception, so truncated dumps still analyze.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object } type =
-      Type::Null;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
-
-  const JsonValue* get(const std::string& key) const {
-    for (const auto& [k, v] : obj)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& s) : s_(s) {}
-
-  JsonValue parse() {
-    JsonValue v;
-    skip_ws();
-    parse_value(v);
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (i_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[i_])) != 0)
-      ++i_;
-  }
-  bool eat(char c) {
-    skip_ws();
-    if (i_ < s_.size() && s_[i_] == c) {
-      ++i_;
-      return true;
-    }
-    return false;
-  }
-
-  bool parse_value(JsonValue& out) {
-    skip_ws();
-    if (i_ >= s_.size()) return false;
-    const char c = s_[i_];
-    if (c == '{') return parse_object(out);
-    if (c == '[') return parse_array(out);
-    if (c == '"') {
-      out.type = JsonValue::Type::String;
-      return parse_string(out.str);
-    }
-    if (s_.compare(i_, 4, "true") == 0) {
-      out.type = JsonValue::Type::Bool;
-      out.b = true;
-      i_ += 4;
-      return true;
-    }
-    if (s_.compare(i_, 5, "false") == 0) {
-      out.type = JsonValue::Type::Bool;
-      i_ += 5;
-      return true;
-    }
-    if (s_.compare(i_, 4, "null") == 0) {
-      i_ += 4;
-      return true;
-    }
-    return parse_number(out);
-  }
-
-  bool parse_object(JsonValue& out) {
-    out.type = JsonValue::Type::Object;
-    if (!eat('{')) return false;
-    if (eat('}')) return true;
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!parse_string(key)) return false;
-      if (!eat(':')) return false;
-      JsonValue v;
-      if (!parse_value(v)) return false;
-      out.obj.emplace_back(std::move(key), std::move(v));
-      if (eat(',')) continue;
-      return eat('}');
-    }
-  }
-
-  bool parse_array(JsonValue& out) {
-    out.type = JsonValue::Type::Array;
-    if (!eat('[')) return false;
-    if (eat(']')) return true;
-    while (true) {
-      JsonValue v;
-      if (!parse_value(v)) return false;
-      out.arr.push_back(std::move(v));
-      if (eat(',')) continue;
-      return eat(']');
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    if (i_ >= s_.size() || s_[i_] != '"') return false;
-    ++i_;
-    while (i_ < s_.size()) {
-      const char c = s_[i_++];
-      if (c == '"') return true;
-      if (c == '\\' && i_ < s_.size()) {
-        const char e = s_[i_++];
-        switch (e) {
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u':
-            // json_escape only emits \u00XX for control bytes.
-            if (i_ + 4 <= s_.size()) {
-              out += static_cast<char>(
-                  std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16));
-              i_ += 4;
-            }
-            break;
-          default: out += e; break;
-        }
-      } else {
-        out += c;
-      }
-    }
-    return false;
-  }
-
-  bool parse_number(JsonValue& out) {
-    const std::size_t start = i_;
-    while (i_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
-            s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' ||
-            s_[i_] == 'E'))
-      ++i_;
-    if (i_ == start) return false;
-    out.type = JsonValue::Type::Number;
-    out.num = std::strtod(s_.substr(start, i_ - start).c_str(), nullptr);
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
+using jsonr::JsonReader;
+using jsonr::JsonValue;
 
 bool event_kind_from_name(const std::string& name, EventKind& out) {
   // Iterate through the *last* kind, not a hard-coded one: stopping at
@@ -264,6 +115,36 @@ std::map<std::string, double> parse_metrics_counters(const std::string& json) {
   return out;
 }
 
+MetricsSnapshot parse_metrics_json(const std::string& json) {
+  MetricsSnapshot out;
+  const JsonValue root = JsonReader(json).parse();
+  if (const JsonValue* counters = root.get("counters");
+      counters != nullptr && counters->type == JsonValue::Type::Object)
+    for (const auto& [k, v] : counters->obj)
+      if (v.type == JsonValue::Type::Number) out.counters[k] = v.num;
+  if (const JsonValue* gauges = root.get("gauges");
+      gauges != nullptr && gauges->type == JsonValue::Type::Object)
+    for (const auto& [k, v] : gauges->obj)
+      if (v.type == JsonValue::Type::Number) out.gauges[k] = v.num;
+  if (const JsonValue* hists = root.get("histograms");
+      hists != nullptr && hists->type == JsonValue::Type::Object)
+    for (const auto& [k, v] : hists->obj) {
+      if (v.type != JsonValue::Type::Object) continue;
+      HistogramSummary s;
+      if (const JsonValue* x = v.get("count"))
+        s.count = static_cast<std::uint64_t>(x->num);
+      if (const JsonValue* x = v.get("sum")) s.sum = x->num;
+      if (const JsonValue* q = v.get("quantiles");
+          q != nullptr && q->type == JsonValue::Type::Object) {
+        if (const JsonValue* x = q->get("p50")) s.p50 = x->num;
+        if (const JsonValue* x = q->get("p95")) s.p95 = x->num;
+        if (const JsonValue* x = q->get("p99")) s.p99 = x->num;
+      }
+      out.histograms[k] = s;
+    }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Analysis
 // ---------------------------------------------------------------------------
@@ -271,6 +152,26 @@ std::map<std::string, double> parse_metrics_counters(const std::string& json) {
 Report analyze(const TraceSink& sink, const AnalyzeConfig& cfg,
                const std::map<std::string, double>* counters) {
   return analyze(sink.snapshot(), cfg, counters);
+}
+
+Report analyze(const std::vector<TraceEvent>& events, const AnalyzeConfig& cfg,
+               const MetricsSnapshot& metrics) {
+  Report rep = analyze(events, cfg, &metrics.counters);
+  const auto gauge = [&](const char* name, double& out) {
+    const auto it = metrics.gauges.find(name);
+    if (it == metrics.gauges.end()) return false;
+    out = it->second;
+    return true;
+  };
+  if (gauge("sim_pool_peak_live_events", rep.pool_peak_live)) {
+    rep.has_pool = true;
+    gauge("sim_pool_live_events", rep.pool_live);
+    gauge("sim_pool_capacity_events", rep.pool_capacity);
+    gauge("sim_pool_reserved_bytes", rep.pool_reserved_bytes);
+  }
+  for (const auto& [name, s] : metrics.histograms)
+    rep.histogram_rows.push_back({name, s});
+  return rep;
 }
 
 Report analyze(const std::vector<TraceEvent>& events, const AnalyzeConfig& cfg,
@@ -618,10 +519,31 @@ std::string Report::to_json() const {
   out += ",\"merges\":" + u64(merges);
   out += ",\"num_ranks\":" + std::to_string(num_ranks);
   out += ",\"parked\":" + u64(parked);
+  if (has_pool) {
+    out += ",\"pool_capacity_events\":" + format_metric_value(pool_capacity);
+    out += ",\"pool_live_events\":" + format_metric_value(pool_live);
+    out += ",\"pool_peak_live_events\":" + format_metric_value(pool_peak_live);
+    out += ",\"pool_reserved_bytes\":" + format_metric_value(pool_reserved_bytes);
+  }
   out += ",\"spans\":" + u64(spans);
   out += ",\"splits\":" + u64(splits);
   out += ",\"ticks\":" + u64(ticks);
-  out += "},\"detectors\":{";
+  out += "},";
+  if (!histogram_rows.empty()) {
+    out += "\"histograms\":{";
+    bool first_h = true;
+    for (const HistogramRow& h : histogram_rows) {
+      if (!first_h) out += ",";
+      first_h = false;
+      out += json_str(h.name) + ":{\"count\":" + u64(h.summary.count);
+      out += ",\"p50\":" + format_metric_value(h.summary.p50);
+      out += ",\"p95\":" + format_metric_value(h.summary.p95);
+      out += ",\"p99\":" + format_metric_value(h.summary.p99);
+      out += ",\"sum\":" + format_metric_value(h.summary.sum) + "}";
+    }
+    out += "},";
+  }
+  out += "\"detectors\":{";
   bool first = true;
   for (const char* d : kDetectors) {
     if (!first) out += ",";
@@ -690,6 +612,23 @@ std::string Report::to_table() const {
                 "   crashes %" PRIu64 "\n",
                 parked, flushed, crashes);
   out += buf;
+  if (has_pool) {
+    std::snprintf(buf, sizeof(buf),
+                  "  event pool    live %.0f peak %.0f capacity %.0f"
+                  " reserved %.1f KiB\n",
+                  pool_live, pool_peak_live, pool_capacity,
+                  pool_reserved_bytes / 1024.0);
+    out += buf;
+  }
+  for (const HistogramRow& h : histogram_rows) {
+    if (h.summary.count == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  [hist] %-28s n %-8" PRIu64
+                  " p50 %-10.4g p95 %-10.4g p99 %.4g\n",
+                  h.name.c_str(), h.summary.count, h.summary.p50,
+                  h.summary.p95, h.summary.p99);
+    out += buf;
+  }
   for (const char* d : kDetectors) {
     const std::uint64_t n = count(d);
     std::snprintf(buf, sizeof(buf), "  [%s] %-16s %" PRIu64 " finding(s)\n",

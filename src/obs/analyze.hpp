@@ -87,6 +87,23 @@ struct Anomaly {
   std::string detail;    ///< human-readable description
 };
 
+/// Parsed `*.metrics.json` dump: counters, gauges and per-histogram
+/// quantile summaries (the parts the analyzers consume — raw buckets
+/// are not retained).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
 /// Everything analyze() derives from a timeline.
 struct Report {
   // --- run summary ---
@@ -109,6 +126,21 @@ struct Report {
   std::uint64_t parked = 0;
   std::uint64_t flushed = 0;
   std::uint64_t crashes = 0;
+
+  /// Event-pool memory gauges from the metrics snapshot (PR 8's
+  /// sim_pool_* gauges); absent without a snapshot carrying them.
+  bool has_pool = false;
+  double pool_live = 0.0;
+  double pool_peak_live = 0.0;
+  double pool_capacity = 0.0;
+  double pool_reserved_bytes = 0.0;
+
+  /// Histogram quantile rows from the metrics snapshot (name order).
+  struct HistogramRow {
+    std::string name;
+    HistogramSummary summary;
+  };
+  std::vector<HistogramRow> histogram_rows;
 
   std::vector<TickPoint> series;
   std::vector<Anomaly> anomalies;
@@ -135,6 +167,11 @@ Report analyze(const std::vector<TraceEvent>& events,
 Report analyze(const TraceSink& sink, const AnalyzeConfig& cfg = {},
                const std::map<std::string, double>* counters = nullptr);
 
+/// Analyze with a full metrics snapshot: same as the counters overload,
+/// plus pool-memory gauges and histogram quantile rows in the report.
+Report analyze(const std::vector<TraceEvent>& events,
+               const AnalyzeConfig& cfg, const MetricsSnapshot& metrics);
+
 /// Parse a `*.trace.json` dump (the exact format TraceSink::to_json()
 /// emits) back into events. Unknown kinds and malformed entries are
 /// skipped rather than fatal, so analyzers tolerate truncated dumps.
@@ -143,5 +180,9 @@ std::vector<TraceEvent> parse_trace_json(const std::string& json);
 /// Parse the "counters" object of a `*.metrics.json` dump
 /// (MetricsRegistry::to_json()) into name -> value.
 std::map<std::string, double> parse_metrics_counters(const std::string& json);
+
+/// Parse a full `*.metrics.json` dump (counters + gauges + histogram
+/// summaries with their exported quantiles).
+MetricsSnapshot parse_metrics_json(const std::string& json);
 
 }  // namespace mantle::obs

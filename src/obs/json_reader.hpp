@@ -1,0 +1,164 @@
+// Minimal JSON reader shared by the offline analyzers (analyze.cpp,
+// provenance.cpp, safety/whatif.cpp): just enough for the dumps this
+// layer itself emits (objects, arrays, strings with the escapes
+// json_escape produces, numbers, true/false/null). Malformed input
+// yields as much as could be parsed rather than an exception, so
+// truncated dumps still analyze. Header-only; lives in a `jsonr`
+// sub-namespace to keep it out of the public obs surface.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mantle::obs::jsonr {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object } type =
+      Type::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& s) : s_(s) {}
+
+  JsonValue parse() {
+    JsonValue v;
+    skip_ws();
+    parse_value(v);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_])) != 0)
+      ++i_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    const char c = s_[i_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::String;
+      return parse_string(out.str);
+    }
+    if (s_.compare(i_, 4, "true") == 0) {
+      out.type = JsonValue::Type::Bool;
+      out.b = true;
+      i_ += 4;
+      return true;
+    }
+    if (s_.compare(i_, 5, "false") == 0) {
+      out.type = JsonValue::Type::Bool;
+      i_ += 5;
+      return true;
+    }
+    if (s_.compare(i_, 4, "null") == 0) {
+      i_ += 4;
+      return true;
+    }
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::Object;
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!eat(':')) return false;
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::Array;
+    if (!eat('[')) return false;
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      if (eat(',')) continue;
+      return eat(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (i_ >= s_.size() || s_[i_] != '"') return false;
+    ++i_;
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c == '\\' && i_ < s_.size()) {
+        const char e = s_[i_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            // json_escape only emits \u00XX for control bytes.
+            if (i_ + 4 <= s_.size()) {
+              out += static_cast<char>(
+                  std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16));
+              i_ += 4;
+            }
+            break;
+          default: out += e; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+            s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.' || s_[i_] == 'e' ||
+            s_[i_] == 'E'))
+      ++i_;
+    if (i_ == start) return false;
+    out.type = JsonValue::Type::Number;
+    out.num = std::strtod(s_.substr(start, i_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace mantle::obs::jsonr

@@ -108,6 +108,37 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
+double Histogram::quantile(double q) const {
+  return estimate_quantile(bounds_, bucket_counts(), q);
+}
+
+double estimate_quantile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& counts, double q) {
+  if (counts.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      if (i >= bounds.size()) {
+        // +Inf bucket: no upper edge to interpolate toward — clamp to
+        // the largest finite bound (0 for a bound-less histogram).
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (target - cum) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 namespace buckets {
 std::vector<double> latency_ms() {
   return {0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096};
@@ -214,6 +245,14 @@ std::string MetricsRegistry::to_prometheus() const {
         out += name + "_sum " + format_metric_value(e.histogram->sum()) + "\n";
         std::snprintf(buf, sizeof(buf), "%" PRIu64, e.histogram->count());
         out += name + "_count " + buf + "\n";
+        // Estimated quantiles as a comment: native histograms have no
+        // quantile sample type, and emitting summary-style samples
+        // would clash with TYPE histogram.
+        out += "# QUANTILES " + name +
+               " p50=" + format_metric_value(estimate_quantile(bounds, counts, 0.5)) +
+               " p95=" + format_metric_value(estimate_quantile(bounds, counts, 0.95)) +
+               " p99=" + format_metric_value(estimate_quantile(bounds, counts, 0.99)) +
+               "\n";
         break;
       }
     }
@@ -254,7 +293,13 @@ std::string MetricsRegistry::to_json() const {
         std::snprintf(buf, sizeof(buf), "%" PRIu64, e.histogram->count());
         histograms += "\"" + json_escape(name) + "\":{\"buckets\":[" + bkt +
                       "],\"sum\":" + format_metric_value(e.histogram->sum()) +
-                      ",\"count\":" + buf + "}";
+                      ",\"count\":" + buf + ",\"quantiles\":{\"p50\":" +
+                      format_metric_value(estimate_quantile(bounds, counts, 0.5)) +
+                      ",\"p95\":" +
+                      format_metric_value(estimate_quantile(bounds, counts, 0.95)) +
+                      ",\"p99\":" +
+                      format_metric_value(estimate_quantile(bounds, counts, 0.99)) +
+                      "}}";
         break;
       }
     }

@@ -70,6 +70,10 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
   std::vector<std::uint64_t> bucket_counts() const;
 
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation within
+  /// the bucket holding the target rank — see estimate_quantile().
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;                       // sorted ascending
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
@@ -141,5 +145,15 @@ class MetricsRegistry {
 /// print without a fraction, everything else as shortest round-trip-ish
 /// "%.17g".
 std::string format_metric_value(double x);
+
+/// Quantile estimation over fixed buckets (Prometheus
+/// histogram_quantile style): find the bucket holding rank q*count in
+/// the cumulative distribution and interpolate linearly inside it
+/// (the first bucket interpolates from 0). Observations in the +Inf
+/// bucket clamp to the largest finite bound. Returns 0 when the
+/// histogram is empty. `counts` are non-cumulative with the +Inf
+/// bucket at index bounds.size(), exactly Histogram::bucket_counts().
+double estimate_quantile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& counts, double q);
 
 }  // namespace mantle::obs

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/metrics.hpp"  // format_metric_value
+#include "obs/profile.hpp"
 
 namespace mantle::obs {
 
@@ -36,6 +37,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::HeartbeatStaleRejected: return "hb-stale-rejected";
     case EventKind::ExportRetry: return "export-retry";
     case EventKind::InvariantViolation: return "invariant-violation";
+    case EventKind::ProvenanceRecorded: return "provenance-decision";
   }
   return "?";
 }
@@ -173,7 +175,9 @@ std::string TraceSink::to_json() const {
   return out;
 }
 
-std::string TraceSink::to_perfetto() const {
+std::string TraceSink::to_perfetto() const { return to_perfetto(nullptr); }
+
+std::string TraceSink::to_perfetto(const Profiler* profiler) const {
   std::lock_guard<std::mutex> lk(mu_);
   char buf[96];
   // Ranks become threads of one "mantle" process; rank -1 (cluster-wide
@@ -236,6 +240,31 @@ std::string TraceSink::to_perfetto() const {
     out += event_kind_name(ev.kind);
     out += "\"";
     append_common(ev);
+  }
+
+  // Wall-clock phase counter tracks (opt-in overload only): one
+  // "profile:<phase>" track per phase, sampled at the start and end of
+  // the simulated timeline so the cumulative wall/self milliseconds
+  // render as counters alongside the event tracks.
+  if (profiler != nullptr) {
+    Time t_end = 0;
+    for (const TraceEvent& ev : events_) t_end = std::max(t_end, ev.at);
+    for (int i = 0; i < kNumProfilePhases; ++i) {
+      const auto phase = static_cast<ProfilePhase>(i);
+      const Profiler::PhaseStats s = profiler->stats(phase);
+      const auto sample = [&](Time ts, double wall_ms, double self_ms) {
+        char cbuf[192];
+        std::snprintf(cbuf, sizeof(cbuf),
+                      ",{\"ph\":\"C\",\"name\":\"profile:%s\",\"pid\":0,"
+                      "\"ts\":%" PRIu64 ",\"args\":{\"self_ms\":%.3f,"
+                      "\"wall_ms\":%.3f}}",
+                      profile_phase_name(phase), ts, self_ms, wall_ms);
+        out += cbuf;
+      };
+      sample(0, 0.0, 0.0);
+      sample(t_end, static_cast<double>(s.wall_ns) / 1e6,
+             static_cast<double>(s.self_ns) / 1e6);
+    }
   }
   out += "]}";
   return out;

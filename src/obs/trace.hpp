@@ -59,10 +59,11 @@ enum class EventKind : int {
   HeartbeatStaleRejected,  ///< stale-epoch/out-of-order heartbeat refused
   ExportRetry,             ///< aborted 2PC export re-attempted after backoff
   InvariantViolation,      ///< chaos invariant checker caught a violation
+  ProvenanceRecorded,      ///< decision provenance record captured this tick
   // Keep kLastEventKind in sync when appending kinds.
 };
 
-inline constexpr EventKind kLastEventKind = EventKind::InvariantViolation;
+inline constexpr EventKind kLastEventKind = EventKind::ProvenanceRecorded;
 
 const char* event_kind_name(EventKind kind);
 
@@ -121,7 +122,15 @@ class TraceSink {
   /// rank under a single "mantle" process, migrations as async
   /// begin/end pairs keyed by span id, everything else as instants.
   /// Open the dump directly in ui.perfetto.dev or chrome://tracing.
+  ///
+  /// The default (no profiler) output is a pure function of the
+  /// recorded events and stays byte-identical across same-seed runs.
+  /// Passing a Profiler additionally appends one wall-clock counter
+  /// track per phase ("profile:<phase>") — that overload is for the
+  /// opt-in MANTLE_PROFILE_DUMP side files only, never the
+  /// deterministic dumps.
   std::string to_perfetto() const;
+  std::string to_perfetto(const class Profiler* profiler) const;
 
   void clear();
 

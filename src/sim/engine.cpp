@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/profile.hpp"
+
 namespace mantle::sim {
 
 void Engine::schedule_at(Time when, Callback fn) {
@@ -122,15 +124,28 @@ void Engine::set_metrics(obs::MetricsRegistry* reg) {
     m_dispatched_ = nullptr;
     m_now_s_ = nullptr;
     m_pending_ = nullptr;
+    m_pool_live_ = nullptr;
+    m_pool_peak_live_ = nullptr;
+    m_pool_capacity_ = nullptr;
+    m_pool_reserved_bytes_ = nullptr;
     return;
   }
   m_dispatched_ = &reg->counter("sim_events_dispatched_total",
                                 "events executed by the discrete-event loop");
   m_now_s_ = &reg->gauge("sim_now_seconds", "simulated clock");
   m_pending_ = &reg->gauge("sim_pending_events", "events still queued");
+  m_pool_live_ = &reg->gauge("sim_pool_live_events",
+                             "event-pool slots currently in use");
+  m_pool_peak_live_ = &reg->gauge("sim_pool_peak_live_events",
+                                  "high-water mark of live event slots");
+  m_pool_capacity_ = &reg->gauge("sim_pool_capacity_events",
+                                 "event-pool slots allocated");
+  m_pool_reserved_bytes_ = &reg->gauge("sim_pool_reserved_bytes",
+                                       "event-arena memory reserved");
 }
 
 std::uint64_t Engine::run_until(Time horizon) {
+  obs::ScopedPhase prof(obs::ProfilePhase::EngineDispatch);
   std::uint64_t dispatched = 0;
   for (;;) {
     if (bottom_.empty()) refill();
@@ -153,6 +168,13 @@ std::uint64_t Engine::run_until(Time horizon) {
   }
   if (m_now_s_ != nullptr) m_now_s_->set(to_seconds(now_));
   if (m_pending_ != nullptr) m_pending_->set(static_cast<double>(size_));
+  if (m_pool_live_ != nullptr) {
+    const EventPool::Stats ps = pool_.stats();
+    m_pool_live_->set(static_cast<double>(ps.live));
+    m_pool_peak_live_->set(static_cast<double>(ps.peak_live));
+    m_pool_capacity_->set(static_cast<double>(ps.capacity));
+    m_pool_reserved_bytes_->set(static_cast<double>(ps.bytes_reserved));
+  }
   return dispatched;
 }
 

@@ -315,6 +315,10 @@ class Engine {
   obs::Counter* m_dispatched_ = nullptr;
   obs::Gauge* m_now_s_ = nullptr;
   obs::Gauge* m_pending_ = nullptr;
+  obs::Gauge* m_pool_live_ = nullptr;
+  obs::Gauge* m_pool_peak_live_ = nullptr;
+  obs::Gauge* m_pool_capacity_ = nullptr;
+  obs::Gauge* m_pool_reserved_bytes_ = nullptr;
 };
 
 }  // namespace mantle::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.hpp"
+
 namespace mantle::sim {
 
 using cluster::OpType;
@@ -182,6 +184,7 @@ Request ClientPopulation::make_request(std::uint32_t slot_idx) {
 }
 
 void ClientPopulation::tick() {
+  obs::ScopedPhase prof(obs::ProfilePhase::PopulationSample);
   const Time now = cluster_.engine().now();
   if (now >= window_end_) {
     // Arrival window closed: stop generating; done() flips when the last

@@ -7,6 +7,7 @@
 #include "balancers/builtin.hpp"
 #include "fault/fault.hpp"
 #include "obs/analyze.hpp"
+#include "obs/profile.hpp"
 #include "sim/scenario.hpp"
 #include "workloads/create_heavy.hpp"
 
@@ -159,14 +160,57 @@ TEST(ObsDeterminism, TruncatedTimelinesAreByteIdentical) {
 TEST(ObsLint, EveryRegisteredCounterEndsInTotal) {
   // Prometheus naming convention, enforced over a fully instrumented
   // run: the faulty scenario touches request, heartbeat, balancer,
-  // migration, dirfrag, dead-letter, recovery and fault counters.
+  // migration, dirfrag, dead-letter, recovery, fault and provenance
+  // counters.
   const ObsDump d = run_faulty(11);
   ASSERT_GT(d.counter_names.size(), 10u);
   constexpr const char* kSuffix = "_total";
+  bool saw_provenance = false;
   for (const std::string& name : d.counter_names) {
     ASSERT_GE(name.size(), std::string(kSuffix).size());
     EXPECT_EQ(name.substr(name.size() - std::string(kSuffix).size()), kSuffix)
         << "counter '" << name << "' violates the _total suffix convention";
+    if (name.rfind("mantle_provenance_", 0) == 0) saw_provenance = true;
+  }
+  EXPECT_TRUE(saw_provenance)
+      << "provenance counters missing from an instrumented run";
+}
+
+TEST(ObsLint, EveryEventKindHasAKebabName) {
+  // Every kind through kLastEventKind must render a real name (the "?"
+  // fallback would leak into dumps) in kebab-case, including the
+  // provenance-* kinds added with the flight recorder.
+  bool saw_provenance = false;
+  for (int k = 0; k <= static_cast<int>(kLastEventKind); ++k) {
+    const std::string name = event_kind_name(static_cast<EventKind>(k));
+    EXPECT_NE(name, "?") << "event kind " << k << " has no name";
+    for (const char c : name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-')
+          << "event kind name '" << name << "' is not kebab-case";
+    if (name.rfind("provenance-", 0) == 0) saw_provenance = true;
+  }
+  EXPECT_TRUE(saw_provenance) << "no provenance-* trace kind registered";
+}
+
+TEST(ObsLint, ProfilePhaseNamesFollowConventions) {
+  // Phase names are kebab-case; their derived metric names carry the
+  // mantle_profile_ prefix and the _total counter suffix.
+  for (int p = 0; p < kNumProfilePhases; ++p) {
+    const auto phase = static_cast<ProfilePhase>(p);
+    const std::string name = profile_phase_name(phase);
+    EXPECT_FALSE(name.empty());
+    for (const char c : name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-')
+          << "phase name '" << name << "' is not kebab-case";
+    const std::string metric = profile_metric_name(phase);
+    EXPECT_EQ(metric.rfind("mantle_profile_", 0), 0u) << metric;
+    constexpr const char* kSuffix = "_total";
+    ASSERT_GE(metric.size(), std::string(kSuffix).size());
+    EXPECT_EQ(metric.substr(metric.size() - std::string(kSuffix).size()),
+              kSuffix)
+        << "profile metric '" << metric << "' violates the counter suffix";
   }
 }
 

@@ -129,8 +129,36 @@ TEST(Registry, JsonExport) {
   EXPECT_NE(js.find("\"counters\":{\"ops_total\":2}"), std::string::npos);
   EXPECT_NE(js.find("\"gauges\":{\"depth\":4}"), std::string::npos);
   EXPECT_NE(js.find("\"lat\":{\"buckets\":[{\"le\":1,\"count\":1},"
-                    "{\"le\":\"+Inf\",\"count\":0}],\"sum\":0.5,\"count\":1}"),
+                    "{\"le\":\"+Inf\",\"count\":0}],\"sum\":0.5,\"count\":1,"
+                    "\"quantiles\":{\"p50\":" + format_metric_value(0.5) +
+                    ",\"p95\":" + format_metric_value(0.95) +
+                    ",\"p99\":" + format_metric_value(0.99) + "}}"),
             std::string::npos);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);   // bucket [0,1]
+  for (int i = 0; i < 80; ++i) h.observe(5.0);   // bucket (1,10]
+  for (int i = 0; i < 10; ++i) h.observe(50.0);  // bucket (10,100]
+  // p50: rank 50 of 100 lands 40/80 into the (1,10] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0 + 9.0 * (40.0 / 80.0));
+  // p95: rank 95 lands 5/10 into the (10,100] bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 10.0 + 90.0 * (5.0 / 10.0));
+  // p05 interpolates from 0 inside the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.05), 0.5);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  // Everything in the +Inf bucket clamps to the largest finite bound.
+  Histogram inf_only({1.0, 2.0});
+  inf_only.observe(100.0);
+  EXPECT_DOUBLE_EQ(inf_only.quantile(0.99), 2.0);
+  // Free-function form over raw buckets, q clamped into [0,1].
+  EXPECT_DOUBLE_EQ(estimate_quantile({4.0}, {2, 0}, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile({}, {}, 0.5), 0.0);
 }
 
 TEST(Registry, EmptyRegistryExportsValidShells) {

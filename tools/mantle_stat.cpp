@@ -16,10 +16,17 @@
 ///   mantle-stat --shadow run.trace.json my.policy   # injection gate
 ///   mantle-stat --fuzz --seed 1 --iters 10000       # hook-input fuzzer
 ///   mantle-stat --chaos --seed 1 --iters 2000       # chaos sweep
+///   mantle-stat --explain obs-dumps --tick 3 --rank 0  # decision narratives
+///   mantle-stat --whatif obs-dumps adaptable        # candidate-policy diff
 ///
-/// Usage errors exit 64, shadow rejection 65, missing/empty input or a
-/// chaos invariant violation 66 — distinct from small
-/// tripped-detector/fuzz-failure counts (capped at 63).
+/// Exit codes (consolidated across subcommands; see
+/// docs/OBSERVABILITY.md):
+///   0   success / nothing tripped / no diffs
+///   1-63  count of tripped detectors (--check), fuzz failures (--fuzz)
+///         or what-if decision diffs (--whatif), capped at 63
+///   64  usage error
+///   65  policy rejected (--shadow verdict, or an invalid --whatif policy)
+///   66  missing/empty input, or a chaos invariant violation (--chaos)
 
 #include <algorithm>
 #include <cstdio>
@@ -39,8 +46,10 @@
 #include "core/mantle.hpp"
 #include "fault/fault.hpp"
 #include "obs/analyze.hpp"
+#include "obs/provenance.hpp"
 #include "safety/fuzz.hpp"
 #include "safety/shadow.hpp"
+#include "safety/whatif.hpp"
 #include "sim/scenario.hpp"
 #include "workloads/create_heavy.hpp"
 
@@ -56,6 +65,11 @@ struct Options {
   std::string scenario;
   std::string shadow_trace;   // --shadow TRACE POLICY
   std::string shadow_policy;
+  std::string explain_dir;    // --explain DIR
+  std::string whatif_dir;     // --whatif DIR POLICY
+  std::string whatif_policy;
+  std::int64_t tick = -1;     // --tick N (explain filter)
+  int rank = -1;              // --rank R (explain filter)
   std::string repro_out;      // --repro-out FILE (fuzz/chaos reproducer corpus)
   bool fuzz = false;
   bool chaos = false;
@@ -80,6 +94,8 @@ void usage(std::FILE* to) {
       "       mantle-stat --chaos [--seed N] [--iters K] [--quick]\n"
       "                   [--scenario LIST] [--no-stale-guard]\n"
       "                   [--repro-out FILE] [--json]\n"
+      "       mantle-stat --explain DIR [--tick N] [--rank R]\n"
+      "       mantle-stat --whatif DIR POLICY [--json]\n"
       "\n"
       "Analyzes Mantle observability dumps (<stem>.trace.json +\n"
       "<stem>.metrics.json pairs) or an inline scenario. DIR defaults to\n"
@@ -105,7 +121,21 @@ void usage(std::FILE* to) {
       "create-heavy,compile,fault-recovery (default: all three, round-\n"
       "robin); --iters is the total schedule count (default 300, --quick\n"
       "60). --no-stale-guard disables the stale-heartbeat guard to\n"
-      "reintroduce the seeded bug. Exit 66 on any violation.\n");
+      "reintroduce the seeded bug. Exit 66 on any violation.\n"
+      "\n"
+      "--explain renders human-readable narratives for every decision in\n"
+      "DIR's <stem>.provenance.json dumps (the sibling trace resolves each\n"
+      "shipment to committed/aborted). --tick/--rank restrict the output.\n"
+      "\n"
+      "--whatif replays the recorded hook inputs of DIR's provenance dumps\n"
+      "through POLICY (same builtin names / policy files as --shadow) and\n"
+      "diffs its when/where/howmuch decisions against the recorded run;\n"
+      "the exit code is the diff count (capped at 63), 65 for an invalid\n"
+      "policy.\n"
+      "\n"
+      "Exit codes: 0 ok; 1-63 tripped detectors / fuzz failures / what-if\n"
+      "diffs; 64 usage; 65 policy rejected; 66 missing input or chaos\n"
+      "violation.\n");
 }
 
 bool read_file(const std::string& path, std::string& out) {
@@ -189,6 +219,15 @@ int main(int argc, char** argv) {
     } else if (a == "--shadow") {
       opt.shadow_trace = value("--shadow");
       opt.shadow_policy = value("--shadow");
+    } else if (a == "--explain") {
+      opt.explain_dir = value("--explain");
+    } else if (a == "--whatif") {
+      opt.whatif_dir = value("--whatif");
+      opt.whatif_policy = value("--whatif");
+    } else if (a == "--tick") {
+      opt.tick = std::strtoll(value("--tick"), nullptr, 10);
+    } else if (a == "--rank") {
+      opt.rank = static_cast<int>(std::strtol(value("--rank"), nullptr, 10));
     } else if (a == "--fuzz") {
       opt.fuzz = true;
     } else if (a == "--chaos") {
@@ -294,6 +333,108 @@ int main(int argc, char** argv) {
     return std::min<int>(static_cast<int>(res.failures.size()), kExitCheckCap);
   }
 
+  if (!opt.explain_dir.empty() || !opt.whatif_dir.empty()) {
+    mantle::Log::set_level(mantle::LogLevel::Error);
+    const std::string dir =
+        !opt.explain_dir.empty() ? opt.explain_dir : opt.whatif_dir;
+    constexpr const char* kSuffix = ".provenance.json";
+    std::error_code ec;
+    std::vector<std::string> dumps;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > std::strlen(kSuffix) &&
+          name.rfind(kSuffix) == name.size() - std::strlen(kSuffix))
+        dumps.push_back(name);
+    }
+    if (ec) {
+      std::fprintf(stderr, "mantle-stat: cannot read %s: %s\n", dir.c_str(),
+                   ec.message().c_str());
+      return kExitNoInput;
+    }
+    if (dumps.empty()) {
+      std::fprintf(stderr, "mantle-stat: no *.provenance.json in %s\n",
+                   dir.c_str());
+      return kExitNoInput;
+    }
+    std::sort(dumps.begin(), dumps.end());
+
+    if (!opt.explain_dir.empty()) {
+      mantle::obs::ExplainOptions eopt;
+      eopt.tick_us = opt.cfg.tick;
+      eopt.tick = opt.tick;
+      eopt.rank = opt.rank;
+      for (const std::string& name : dumps) {
+        const std::string stem =
+            name.substr(0, name.size() - std::strlen(kSuffix));
+        std::string prov_json;
+        if (!read_file(dir + "/" + name, prov_json)) {
+          std::fprintf(stderr, "mantle-stat: cannot read %s/%s\n",
+                       dir.c_str(), name.c_str());
+          return kExitNoInput;
+        }
+        const auto records = mantle::obs::parse_provenance_json(prov_json);
+        // The sibling trace resolves shipments to committed/aborted.
+        std::vector<mantle::obs::TraceEvent> events;
+        std::string trace_json;
+        if (read_file(dir + "/" + stem + ".trace.json", trace_json))
+          events = mantle::obs::parse_trace_json(trace_json);
+        std::printf("== %s ==\n%s\n", stem.c_str(),
+                    mantle::obs::render_explain(records, events, eopt)
+                        .c_str());
+      }
+      return 0;
+    }
+
+    mantle::core::MantlePolicy policy;
+    const std::string perr =
+        mantle::safety::load_policy(opt.whatif_policy, policy);
+    if (!perr.empty()) {
+      std::fprintf(stderr, "mantle-stat: %s\n", perr.c_str());
+      return kExitShadowReject;
+    }
+    const std::string verr = mantle::core::validate_policy(policy);
+    if (!verr.empty()) {
+      std::fprintf(stderr, "mantle-stat: policy rejected before replay: %s\n",
+                   verr.c_str());
+      return kExitShadowReject;
+    }
+    std::uint64_t total_diffs = 0;
+    std::string json_out = "{\"whatif\":{";
+    bool first = true;
+    for (const std::string& name : dumps) {
+      const std::string stem =
+          name.substr(0, name.size() - std::strlen(kSuffix));
+      std::string prov_json;
+      if (!read_file(dir + "/" + name, prov_json)) {
+        std::fprintf(stderr, "mantle-stat: cannot read %s/%s\n", dir.c_str(),
+                     name.c_str());
+        return kExitNoInput;
+      }
+      const auto records = mantle::obs::parse_provenance_json(prov_json);
+      const mantle::safety::WhatifResult res =
+          mantle::safety::whatif_replay(records, policy);
+      total_diffs += res.diff_count();
+      if (opt.json) {
+        if (!first) json_out += ",";
+        first = false;
+        json_out += "\"" + stem + "\":" + res.to_json();
+      } else {
+        std::printf("== whatif %s vs %s ==\n%s\n", opt.whatif_policy.c_str(),
+                    stem.c_str(), res.to_table().c_str());
+      }
+    }
+    if (opt.json) {
+      json_out +=
+          "},\"total_diffs\":" + std::to_string(total_diffs) + "}";
+      std::printf("%s\n", json_out.c_str());
+    } else {
+      std::printf("%zu dump(s) replayed, %llu decision diff(s)\n",
+                  dumps.size(),
+                  static_cast<unsigned long long>(total_diffs));
+    }
+    return std::min<int>(static_cast<int>(total_diffs), kExitCheckCap);
+  }
+
   if (!opt.shadow_trace.empty()) {
     mantle::Log::set_level(mantle::LogLevel::Error);
     std::string trace_json;
@@ -385,15 +526,19 @@ int main(int argc, char** argv) {
         return kExitNoInput;
       }
       const auto events = mantle::obs::parse_trace_json(trace_json);
-      std::map<std::string, double> counters;
       std::string metrics_json;
       const bool have_metrics =
           read_file(opt.dir + "/" + stem + ".metrics.json", metrics_json);
-      if (have_metrics)
-        counters = mantle::obs::parse_metrics_counters(metrics_json);
-      runs.push_back({stem, mantle::obs::analyze(
-                                events, opt.cfg,
-                                have_metrics ? &counters : nullptr)});
+      if (have_metrics) {
+        // Full snapshot: locality counters plus the PR 8 event-pool
+        // gauges and histogram quantiles in the report.
+        const mantle::obs::MetricsSnapshot snap =
+            mantle::obs::parse_metrics_json(metrics_json);
+        runs.push_back({stem, mantle::obs::analyze(events, opt.cfg, snap)});
+      } else {
+        runs.push_back({stem, mantle::obs::analyze(events, opt.cfg,
+                                                   nullptr)});
+      }
     }
   }
 
