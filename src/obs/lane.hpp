@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file lane.hpp
+/// Execution-lane context for the sharded parallel engine.
+///
+/// When the simulator runs in sharded mode (sim/shard.hpp), rank-affine
+/// events execute concurrently on per-shard worker threads while all
+/// shared-state mutation stays on the serial global lane. Observability
+/// sinks cannot take a wall-clock-ordered view of concurrent appends and
+/// stay deterministic, so instead every sink routes hot-path writes by
+/// the *lane* of the calling thread: shard lanes write to private
+/// per-shard cells/buffers (no contention, no ordering dependence on the
+/// thread count K) and the global lane writes to the classic serial
+/// structures. A deterministic merge — fixed shard order, canonical
+/// within-shard order — folds the shards back in at epoch barriers or at
+/// export time, which is what keeps MANTLE_OBS_DIR dumps byte-identical
+/// for any K.
+///
+/// The lane is plain thread-local state: -1 (default) means the serial /
+/// global lane, s >= 0 means shard s. Only the shard runtime sets it, via
+/// the RAII scope below, around each shard's epoch slice.
+
+namespace mantle::obs {
+
+namespace detail {
+inline thread_local int t_lane_shard = -1;
+}  // namespace detail
+
+/// Shard index of the calling thread's lane: -1 = serial/global lane.
+inline int lane_shard() { return detail::t_lane_shard; }
+
+/// RAII lane marker. The shard runtime wraps each per-shard event slice
+/// in one of these; everything else runs on the default lane.
+class ScopedLane {
+ public:
+  explicit ScopedLane(int shard) : prev_(detail::t_lane_shard) {
+    detail::t_lane_shard = shard;
+  }
+  ~ScopedLane() { detail::t_lane_shard = prev_; }
+  ScopedLane(const ScopedLane&) = delete;
+  ScopedLane& operator=(const ScopedLane&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace mantle::obs

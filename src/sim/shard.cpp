@@ -1,0 +1,253 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <tuple>
+
+#include "obs/lane.hpp"
+
+namespace mantle::sim {
+
+namespace {
+
+/// The shard engine the calling thread is currently dispatching for
+/// (phase A only). Null on the serial lane. Paired with obs::lane_shard()
+/// — the runtime sets both around each shard slice.
+thread_local Engine* t_shard_engine = nullptr;
+
+}  // namespace
+
+ShardRuntime::ShardRuntime(Config cfg) : cfg_(cfg) {
+  if (cfg_.shards < 1) cfg_.shards = 1;
+  if (cfg_.lookahead < 1) cfg_.lookahead = 1;
+  cfg_.threads = std::clamp(cfg_.threads, 1, cfg_.shards);
+  shards_ = std::vector<Engine>(static_cast<std::size_t>(cfg_.shards));
+  outboxes_.resize(static_cast<std::size_t>(cfg_.shards));
+}
+
+ShardRuntime::~ShardRuntime() = default;
+
+Time ShardRuntime::context_now() const {
+  return t_shard_engine != nullptr ? t_shard_engine->now() : global_.now();
+}
+
+void ShardRuntime::post_global_after(Time delay, Callback fn) {
+  if (t_shard_engine != nullptr) {
+    const Time base = t_shard_engine->now();
+    Time when = base + delay;
+    if (when < base) when = kTimeMax;  // unsigned wrap: saturate
+    outboxes_[static_cast<std::size_t>(obs::lane_shard())].posts.push_back(
+        {when, -1, std::move(fn)});
+    return;
+  }
+  global_.schedule_after(delay, std::move(fn));
+}
+
+void ShardRuntime::post_global_at(Time when, Callback fn) {
+  if (t_shard_engine != nullptr) {
+    if (when < t_shard_engine->now()) when = t_shard_engine->now();
+    outboxes_[static_cast<std::size_t>(obs::lane_shard())].posts.push_back(
+        {when, -1, std::move(fn)});
+    return;
+  }
+  global_.schedule_at(when, std::move(fn));
+}
+
+void ShardRuntime::post_shard_after(int shard, Time delay, Callback fn) {
+  if (t_shard_engine != nullptr) {
+    if (shard == obs::lane_shard()) {  // own queue: the tick re-arm path
+      t_shard_engine->schedule_after(delay, std::move(fn));
+      return;
+    }
+    const Time base = t_shard_engine->now();
+    Time when = base + delay;
+    if (when < base) when = kTimeMax;
+    outboxes_[static_cast<std::size_t>(obs::lane_shard())].posts.push_back(
+        {when, shard, std::move(fn)});
+    return;
+  }
+  // Serial lane: workers are parked at the barrier, direct scheduling
+  // into a shard queue is race-free and happens in G's (deterministic)
+  // dispatch order.
+  const Time base = global_.now();
+  Time when = base + delay;
+  if (when < base) when = kTimeMax;
+  shards_[static_cast<std::size_t>(shard)].schedule_at(when, std::move(fn));
+}
+
+void ShardRuntime::run_shard_slice(int shard, Time horizon) {
+  Engine& e = shards_[static_cast<std::size_t>(shard)];
+  obs::ScopedLane lane(shard);
+  t_shard_engine = &e;
+  e.run_until(horizon);
+  t_shard_engine = nullptr;
+}
+
+void ShardRuntime::run_phase_a(Time horizon) {
+  for (int s = 0; s < cfg_.shards; ++s) run_shard_slice(s, horizon);
+}
+
+void ShardRuntime::apply_outboxes() {
+  // Canonical merge order: (when, src_shard, per-src seq). The per-src
+  // seq is the append index — each outbox is filled in its shard's
+  // deterministic dispatch order. Injecting in this order assigns
+  // destination-engine sequence numbers canonically, which pins the
+  // downstream (when, seq) dispatch order independent of K.
+  std::vector<std::tuple<Time, int, std::size_t>> order;
+  for (int src = 0; src < cfg_.shards; ++src) {
+    auto& posts = outboxes_[static_cast<std::size_t>(src)].posts;
+    for (std::size_t i = 0; i < posts.size(); ++i)
+      order.emplace_back(posts[i].when, src, i);
+  }
+  if (order.empty()) return;
+  std::sort(order.begin(), order.end());
+  for (const auto& [when, src, i] : order) {
+    Post& p = outboxes_[static_cast<std::size_t>(src)].posts[i];
+    if (p.dst < 0)
+      global_.schedule_at(when, std::move(p.fn));
+    else
+      shards_[static_cast<std::size_t>(p.dst)].schedule_at(when,
+                                                           std::move(p.fn));
+  }
+  for (auto& box : outboxes_) box.posts.clear();
+}
+
+void ShardRuntime::run_until(Time horizon) {
+  const int K = cfg_.threads;
+
+  const auto next_event_time = [this]() {
+    Time t = global_.next_when();
+    for (Engine& e : shards_) t = std::min(t, e.next_when());
+    return t;
+  };
+  const auto epoch_horizon = [this, horizon](Time t) {
+    Time end = t + cfg_.lookahead;
+    if (end < t) end = kTimeMax;  // unsigned wrap: saturate
+    return std::min<Time>(end - 1, horizon);
+  };
+  const auto phase_b = [this](Time h) {
+    apply_outboxes();
+    if (drain_) drain_();
+    global_.run_until(h);
+  };
+
+  if (K == 1) {
+    // Same epoch structure, no threads: this *is* the "serial run" the
+    // differential suite compares the K-thread runs against.
+    for (;;) {
+      const Time t = next_event_time();
+      if (t == kTimeMax || t > horizon) break;
+      const Time h = epoch_horizon(t);
+      run_phase_a(h);
+      phase_b(h);
+    }
+  } else {
+    Time phase_h = 0;
+    bool stop = false;
+    std::barrier<> sync(K);
+    const auto worker = [&](int w) {
+      for (;;) {
+        sync.arrive_and_wait();  // epoch params published
+        if (stop) return;
+        for (int s = w; s < cfg_.shards; s += K) run_shard_slice(s, phase_h);
+        sync.arrive_and_wait();  // phase A complete
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(K - 1));
+    for (int w = 1; w < K; ++w) pool.emplace_back(worker, w);
+    for (;;) {
+      const Time t = next_event_time();
+      if (t == kTimeMax || t > horizon) break;
+      phase_h = epoch_horizon(t);
+      sync.arrive_and_wait();  // B1: release workers into phase A
+      for (int s = 0; s < cfg_.shards; s += K) run_shard_slice(s, phase_h);
+      sync.arrive_and_wait();  // B2: phase A complete everywhere
+      phase_b(phase_h);
+    }
+    stop = true;
+    sync.arrive_and_wait();
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Clock semantics mirror Engine::run_until: catch up to the horizon
+  // when work remains pending beyond it, else rest at the last event.
+  Time maxnow = global_.now();
+  for (const Engine& e : shards_) maxnow = std::max(maxnow, e.now());
+  now_ = empty() ? std::max(now_, maxnow) : std::max(now_, horizon);
+  update_gauges();
+}
+
+bool ShardRuntime::empty() const {
+  if (!global_.empty()) return false;
+  for (const Engine& e : shards_)
+    if (!e.empty()) return false;
+  return true;
+}
+
+std::size_t ShardRuntime::pending() const {
+  std::size_t n = global_.pending();
+  for (const Engine& e : shards_) n += e.pending();
+  return n;
+}
+
+std::uint64_t ShardRuntime::saturated_events() const {
+  std::uint64_t n = global_.saturated_events();
+  for (const Engine& e : shards_) n += e.saturated_events();
+  return n;
+}
+
+EventPool::Stats ShardRuntime::pool_stats() const {
+  EventPool::Stats total = global_.pool_stats();
+  for (const Engine& e : shards_) {
+    const EventPool::Stats s = e.pool_stats();
+    total.live += s.live;
+    total.peak_live += s.peak_live;
+    total.capacity += s.capacity;
+    total.bytes_reserved += s.bytes_reserved;
+  }
+  return total;
+}
+
+void ShardRuntime::attach_metrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) {
+    global_.set_dispatch_counter(nullptr);
+    for (Engine& e : shards_) e.set_dispatch_counter(nullptr);
+    m_now_s_ = nullptr;
+    m_pending_ = nullptr;
+    m_pool_live_ = nullptr;
+    m_pool_peak_live_ = nullptr;
+    m_pool_capacity_ = nullptr;
+    m_pool_reserved_bytes_ = nullptr;
+    return;
+  }
+  obs::Counter& dispatched =
+      reg->counter("sim_events_dispatched_total",
+                   "events executed by the discrete-event loop");
+  global_.set_dispatch_counter(&dispatched);
+  for (Engine& e : shards_) e.set_dispatch_counter(&dispatched);
+  m_now_s_ = &reg->gauge("sim_now_seconds", "simulated clock");
+  m_pending_ = &reg->gauge("sim_pending_events", "events still queued");
+  m_pool_live_ = &reg->gauge("sim_pool_live_events",
+                             "event-pool slots currently in use");
+  m_pool_peak_live_ = &reg->gauge("sim_pool_peak_live_events",
+                                  "high-water mark of live event slots");
+  m_pool_capacity_ = &reg->gauge("sim_pool_capacity_events",
+                                 "event-pool slots allocated");
+  m_pool_reserved_bytes_ = &reg->gauge("sim_pool_reserved_bytes",
+                                       "event-arena memory reserved");
+}
+
+void ShardRuntime::update_gauges() {
+  if (m_now_s_ == nullptr) return;
+  m_now_s_->set(to_seconds(now_));
+  m_pending_->set(static_cast<double>(pending()));
+  const EventPool::Stats ps = pool_stats();
+  m_pool_live_->set(static_cast<double>(ps.live));
+  m_pool_peak_live_->set(static_cast<double>(ps.peak_live));
+  m_pool_capacity_->set(static_cast<double>(ps.capacity));
+  m_pool_reserved_bytes_->set(static_cast<double>(ps.bytes_reserved));
+}
+
+}  // namespace mantle::sim

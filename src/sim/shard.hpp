@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+
+/// \file shard.hpp
+/// Sharded parallel execution mode for the discrete-event engine
+/// (ROADMAP item 1's "sharded parallel engine with deterministic
+/// merge", and the stepping stone toward item 4's threaded runtime).
+///
+/// The simulator's event load at 512 ranks is dominated by rank-affine
+/// work: per-MDS balancer ticks and the O(ranks^2) heartbeat fan-in.
+/// Those events touch (a) the owning rank's private state and (b)
+/// shared cluster structures in read-only ways that are safe under
+/// concurrent readers. Everything else — request service, migrations
+/// and their 2PC timers, crash/recovery, client and population arcs —
+/// mutates shared state and stays serial.
+///
+/// ShardRuntime therefore runs S+1 ladder-queue engines in two lanes:
+///
+///   - S *shard* engines, rank r owned by shard r % S, holding only
+///     rank-affine events (tick re-arms and heartbeat deliveries);
+///   - one *global* engine G holding every shared-state event.
+///
+/// Time advances in conservative lookahead epochs. Each epoch picks
+///   T = min over all engines of next_when(),   window = [T, T + L)
+/// and runs two phases with no wall-clock overlap between lanes:
+///
+///   Phase A (parallel): K worker threads run the shard engines
+///   through the window (worker w owns shards s ≡ w mod K). Events
+///   that need to schedule outside their own shard append to a
+///   per-src-shard outbox instead of touching a foreign queue.
+///
+///   Phase B (serial, on the driver thread): outbox posts from all
+///   shards are merged in the canonical (when, src_shard, seq) order
+///   and injected into their destination engines — sequence numbers
+///   are assigned in that canonical order, which is what pins the
+///   downstream dispatch order; per-shard observability buffers are
+///   drained in fixed shard order; then G runs through the window.
+///
+/// Correctness of the parallelism is an ordering argument, not a
+/// locking one: the epoch schedule is a pure function of (config,
+/// seeds, S, L). The thread count K only changes which worker runs
+/// which shard slice, never the order anything is injected, merged or
+/// drained — so a K-thread run produces byte-identical MANTLE_OBS_DIR
+/// dumps to the K=1 run of the same sharded schedule. The existing
+/// determinism suite is the correctness oracle.
+///
+/// The lookahead L bounds how far a shard may run ahead of cross-shard
+/// effects; it must not exceed the minimum cross-shard (heartbeat)
+/// latency or deliveries would land in an epoch the receiver already
+/// ran. L is a fidelity knob, not a correctness knob: any L gives a
+/// deterministic schedule, smaller L tracks the serial interleaving
+/// more closely at the cost of more barriers.
+
+namespace mantle::sim {
+
+class ShardRuntime {
+ public:
+  struct Config {
+    int shards = 1;    ///< S: fixed by config — part of the schedule
+    int threads = 1;   ///< K: execution detail — must never change output
+    Time lookahead = 50 * kMsec;  ///< L: epoch window width
+  };
+
+  explicit ShardRuntime(Config cfg);
+  ~ShardRuntime();
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  int num_shards() const { return cfg_.shards; }
+  int num_threads() const { return cfg_.threads; }
+  Time lookahead() const { return cfg_.lookahead; }
+  int shard_of_rank(int rank) const { return rank % cfg_.shards; }
+
+  /// The serial global-lane engine (G). The cluster is constructed on
+  /// this engine; classic accessors keep working against it.
+  Engine& global() { return global_; }
+  Engine& shard_engine(int s) { return shards_[static_cast<std::size_t>(s)]; }
+
+  /// Clock of the calling lane: a shard engine's clock during phase A,
+  /// otherwise G's. Event code must use this (via the cluster's
+  /// sim_now()) instead of reaching for a fixed engine.
+  Time context_now() const;
+
+  /// Schedule onto the global lane. From a shard lane this appends to
+  /// the shard's outbox (merged at the epoch barrier); from the serial
+  /// lane it schedules directly.
+  void post_global_after(Time delay, Callback fn);
+  void post_global_at(Time when, Callback fn);
+
+  /// Schedule a rank-affine event onto `shard`. Same-shard posts are
+  /// direct (the common case: tick re-arm); cross-shard posts go
+  /// through the outbox; serial-lane posts are direct (workers parked).
+  void post_shard_after(int shard, Time delay, Callback fn);
+
+  /// Epoch-barrier hook: runs after phase A's merge point and before
+  /// the global slice, on the driver thread. The cluster drains its
+  /// per-shard trace/provenance buffers here, in fixed shard order.
+  void set_epoch_drain(std::function<void()> fn) { drain_ = std::move(fn); }
+
+  /// Run every event with `when <= horizon` across all lanes, in
+  /// conservative epochs. Mirrors Engine::run_until clock semantics.
+  void run_until(Time horizon);
+
+  Time now() const { return now_; }
+  bool empty() const;
+  std::size_t pending() const;
+  std::uint64_t saturated_events() const;
+  /// Aggregated arena footprint across all lanes (bench RSS proxy).
+  EventPool::Stats pool_stats() const;
+
+  /// Wire the dispatched-event counter into every lane's engine and
+  /// cache gauge handles; the runtime refreshes the clock/queue/pool
+  /// gauges serially at the end of each run_until.
+  void attach_metrics(obs::MetricsRegistry* reg);
+
+ private:
+  struct Post {
+    Time when = 0;
+    int dst = -1;  ///< destination shard; -1 = global lane
+    Callback fn;
+  };
+  struct alignas(64) Outbox {  // padded: written concurrently per shard
+    std::vector<Post> posts;
+  };
+
+  void run_shard_slice(int shard, Time horizon);
+  void run_phase_a(Time horizon);  // K == 1 inline path
+  void apply_outboxes();
+  void update_gauges();
+
+  Config cfg_;
+  Engine global_;
+  std::vector<Engine> shards_;
+  std::vector<Outbox> outboxes_;
+  std::function<void()> drain_;
+  Time now_ = 0;
+
+  obs::Gauge* m_now_s_ = nullptr;
+  obs::Gauge* m_pending_ = nullptr;
+  obs::Gauge* m_pool_live_ = nullptr;
+  obs::Gauge* m_pool_peak_live_ = nullptr;
+  obs::Gauge* m_pool_capacity_ = nullptr;
+  obs::Gauge* m_pool_reserved_bytes_ = nullptr;
+};
+
+}  // namespace mantle::sim
